@@ -1,0 +1,133 @@
+// Package biodeg is the public API of the reproduction of
+// "Architectural Tradeoffs for Biodegradable Computing" (MICRO-50,
+// 2017): a design-space explorer for processor cores built from organic
+// (pentacene OTFT) versus silicon standard cells.
+//
+// The typical flow mirrors the paper's (Figure 10):
+//
+//	org := biodeg.Organic()              // characterized technology
+//	inv := biodeg.InverterDC(biodeg.PseudoE, 5, -15)  // cell-level DC analysis
+//	alu := biodeg.ALUDepth(org, 30)      // Fig. 12 sweep
+//	core := biodeg.CoreDepth(org, 9, 15) // Fig. 11 sweep
+//	width := biodeg.Widths(org)          // Figs. 13-14 sweep
+//	tables := biodeg.RunExperiment("fig12")  // any paper artifact
+//
+// Heavy artifacts (cell characterization, stage synthesis, IPC runs)
+// are cached process-wide, so repeated calls are cheap.
+package biodeg
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/liberty"
+	"repro/internal/pipeline"
+	"repro/internal/spice"
+	"repro/internal/uarch"
+	"repro/internal/workload"
+)
+
+// Technology is a characterized process (cell library + wire model).
+type Technology = core.Tech
+
+// Organic returns the pentacene pseudo-E technology (VDD 5 V, VSS -15 V),
+// characterizing its 6-cell library on first use.
+func Organic() *Technology { return core.OrganicTech() }
+
+// Silicon returns the 45 nm-class complementary CMOS reference
+// technology with the same 6-cell palette.
+func Silicon() *Technology { return core.SiliconTech() }
+
+// Library returns a technology's characterized liberty library.
+func Library(t *Technology) *liberty.Library { return t.Lib }
+
+// Inverter styles (Figures 5-6 of the paper).
+const (
+	DiodeLoad  = cells.DiodeLoad
+	BiasedLoad = cells.BiasedLoad
+	PseudoE    = cells.PseudoE
+)
+
+// InverterDC sweeps one organic inverter style at the given rails and
+// returns its DC figures of merit (switching threshold, gain, MEC noise
+// margins, static power).
+func InverterDC(style cells.InverterStyle, vdd, vss float64) (spice.InverterDC, error) {
+	dc, _, err := cells.AnalyzeOrganicInverter(style, vdd, vss, 151)
+	return dc, err
+}
+
+// VariationTrim measures pseudo-E switching-threshold spread under
+// per-sample threshold-voltage offsets and the VSS bias trim that
+// restores the nominal VM (paper Sections 4.1 and 4.3.3).
+func VariationTrim(vdd, vss float64, vtShifts []float64) ([]cells.VariationPoint, error) {
+	return cells.VariationTrim(vdd, vss, vtShifts, 121)
+}
+
+// ALUDepth pipelines the 32-bit complex ALU (CSA multiplier + stallable
+// divider datapath) from 1 to maxStages, reproducing Figure 12.
+func ALUDepth(t *Technology, maxStages int) ([]pipeline.Point, error) {
+	return core.ALUDepthSweep(t, maxStages, true)
+}
+
+// CoreDepth sweeps the 9-stage baseline core to maxDepth by repeatedly
+// cutting the critical stage, reproducing Figure 11. Points carry
+// per-benchmark IPC and performance.
+func CoreDepth(t *Technology, minDepth, maxDepth int) ([]core.DepthPoint, error) {
+	return core.CoreDepthSweep(t, minDepth, maxDepth, true)
+}
+
+// Widths sweeps the thirty superscalar width configurations
+// (front-end 1-6 x back-end 3-7), reproducing Figures 13-14.
+func Widths(t *Technology) ([]core.WidthPoint, error) {
+	return core.WidthSweep(t)
+}
+
+// Benchmarks lists the seven workloads (Dhrystone-like plus six
+// SPEC-CPU2000-inspired kernels).
+func Benchmarks() []string { return core.Benchmarks() }
+
+// CoreConfig is the cycle-level core configuration.
+type CoreConfig = uarch.Config
+
+// DefaultCore returns the paper's 9-stage baseline core configuration.
+func DefaultCore() CoreConfig { return uarch.DefaultConfig() }
+
+// SimulateIPC runs one benchmark through the cycle-level core model,
+// verifying the workload's architectural result, and returns timing
+// statistics (IPC, mispredicts, cache misses).
+func SimulateIPC(bench string, cfg CoreConfig) (uarch.Stats, error) {
+	return core.BenchIPC(bench, cfg)
+}
+
+// RunWorkload executes a benchmark functionally and checks its result
+// checksum against the Go reference implementation.
+func RunWorkload(bench string) error {
+	w := workload.ByName(bench)
+	if w == nil {
+		return fmt.Errorf("biodeg: unknown benchmark %q", bench)
+	}
+	_, err := w.Run()
+	return err
+}
+
+// Experiment metadata and table types re-exported for report consumers.
+type (
+	// Experiment reproduces one paper artifact.
+	Experiment = core.Experiment
+	// Table is a rendered experiment result.
+	Table = core.Table
+)
+
+// Experiments returns the registry of paper artifacts (fig3..fig15 plus
+// the absolute-frequency comparison).
+func Experiments() []*Experiment { return core.Experiments() }
+
+// RunExperiment runs one experiment by ID ("fig3", "fig11", ...).
+func RunExperiment(id string) ([]*Table, error) {
+	e := core.ExperimentByID(id)
+	if e == nil {
+		return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
+	}
+	return e.Run()
+}

@@ -1,0 +1,73 @@
+package biodeg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInverterDCThroughAPI(t *testing.T) {
+	dc, err := InverterDC(PseudoE, 5, -15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Gain < 1.5 || dc.VOH < 4.5 || dc.VOL > 0.5 {
+		t.Errorf("pseudo-E at the library point looks wrong: %v", dc)
+	}
+}
+
+func TestWorkloadsThroughAPI(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if err := RunWorkload(b); err != nil {
+			t.Errorf("%s: %v", b, err)
+		}
+	}
+	if err := RunWorkload("no-such-bench"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestSimulateIPC(t *testing.T) {
+	cfg := DefaultCore()
+	cfg.FrontWidth = 2
+	cfg.BackWidth = 4
+	st, err := SimulateIPC("gzip", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC <= 0.2 || st.IPC > 2 {
+		t.Errorf("gzip IPC %.3f out of range", st.IPC)
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	if len(Experiments()) < 10 {
+		t.Fatalf("registry too small: %d", len(Experiments()))
+	}
+	tables, err := RunExperiment("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tables[0].Render(), "mu_lin") {
+		t.Error("fig3 table missing mobility row")
+	}
+	if _, err := RunExperiment("fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTechnologiesThroughAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is expensive")
+	}
+	org, sil := Organic(), Silicon()
+	if Library(org).FO4() <= Library(sil).FO4() {
+		t.Error("organic FO4 must exceed silicon's")
+	}
+	pts, err := ALUDepth(sil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 || pts[5].Freq <= pts[0].Freq {
+		t.Error("ALU depth sweep not improving frequency at shallow depths")
+	}
+}

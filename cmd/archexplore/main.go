@@ -1,0 +1,55 @@
+// Command archexplore runs the architectural design-space experiments
+// (paper Figures 11-15): ALU and core pipeline-depth sweeps, the
+// superscalar width matrices, and the wire-delay ablation.
+//
+// Usage:
+//
+//	archexplore [aludepth|coredepth|width|area|wire|all]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/biodeg"
+)
+
+var byName = map[string]string{
+	"aludepth":  "fig12",
+	"coredepth": "fig11",
+	"width":     "fig13",
+	"area":      "fig14",
+	"wire":      "fig15",
+	"absfreq":   "absfreq",
+	"energy":    "energy",
+	"variation": "variation",
+	"dynamic":   "dynamic",
+}
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	var ids []string
+	if which == "all" {
+		ids = []string{"fig12", "fig11", "fig13", "fig14", "fig15", "variation", "dynamic", "energy", "absfreq"}
+	} else {
+		id, ok := byName[which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "archexplore: unknown experiment %q (want aludepth|coredepth|width|area|wire|energy|absfreq|all)\n", which)
+			os.Exit(2)
+		}
+		ids = []string{id}
+	}
+	for _, id := range ids {
+		tables, err := biodeg.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "archexplore: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+}

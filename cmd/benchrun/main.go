@@ -1,0 +1,43 @@
+// Command benchrun executes one workload (or all) on a configured core
+// and prints IPC and pipeline statistics.
+//
+// Usage:
+//
+//	benchrun [-fe N] [-be N] [benchmark|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/biodeg"
+)
+
+func main() {
+	fe := flag.Int("fe", 1, "front-end width (fetch/dispatch/retire)")
+	be := flag.Int("be", 3, "back-end execution pipes (1 mem + 1 control + be-2 ALU)")
+	depthF := flag.Int("front-stages", 4, "fetch-to-dispatch pipeline stages")
+	flag.Parse()
+	which := flag.Arg(0)
+	if which == "" {
+		which = "all"
+	}
+	benches := biodeg.Benchmarks()
+	if which != "all" {
+		benches = []string{which}
+	}
+	cfg := biodeg.DefaultCore()
+	cfg.FrontWidth = *fe
+	cfg.BackWidth = *be
+	cfg.FrontStages = *depthF
+	fmt.Printf("%-10s %8s %10s %8s %9s %9s\n", "bench", "IPC", "instrs", "cycles", "MPKI", "missrate")
+	for _, b := range benches {
+		st, err := biodeg.SimulateIPC(b, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", b, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %8.3f %10d %8d %9.2f %9.3f\n", b, st.IPC, st.Instrs, st.Cycles, st.MPKI, st.MissRate)
+	}
+}

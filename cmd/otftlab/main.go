@@ -1,0 +1,50 @@
+// Command otftlab runs the device- and cell-level experiments of the
+// reproduction (paper Figures 3-9): transfer characteristics, model
+// fitting, inverter style comparison, bias sweeps, and standard-cell
+// library characterization.
+//
+// Usage:
+//
+//	otftlab [fig3|fig4|fig6|fig7|fig8|fig9|all]
+//	otftlab lib [organic|silicon]   # dump a Synopsys .lib to stdout
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/biodeg"
+	"repro/internal/liberty"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	if which == "lib" {
+		tech := biodeg.Organic()
+		if len(os.Args) > 2 && os.Args[2] == "silicon" {
+			tech = biodeg.Silicon()
+		}
+		if err := liberty.WriteSynopsys(os.Stdout, biodeg.Library(tech)); err != nil {
+			fmt.Fprintf(os.Stderr, "otftlab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ids := []string{"fig3", "fig4", "fig6", "fig7", "fig8", "fig9"}
+	if which != "all" {
+		ids = []string{which}
+	}
+	for _, id := range ids {
+		tables, err := biodeg.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "otftlab: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command replicate runs every experiment of the reproduction in paper
+// order and prints the full paper-vs-measured report (the source of
+// EXPERIMENTS.md). Expect a few minutes of runtime: it characterizes
+// both cell libraries and sweeps every design point.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/biodeg"
+)
+
+func main() {
+	start := time.Now()
+	for _, e := range biodeg.Experiments() {
+		fmt.Printf("######## %s: %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.Paper)
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replicate: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+	fmt.Printf("total runtime: %v\n", time.Since(start))
+}

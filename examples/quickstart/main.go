@@ -1,0 +1,43 @@
+// Quickstart: characterize the paper's pseudo-E inverter at the library
+// operating point and compare the three unipolar inverter styles — the
+// Section 4.3 flow through the public API. Runs in seconds (no full
+// library characterization needed).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/biodeg"
+	"repro/internal/cells"
+)
+
+func main() {
+	fmt.Println("Pentacene inverter styles at VDD = 15 V (paper Fig. 6):")
+	for _, s := range []struct {
+		name  string
+		style cells.InverterStyle
+		vss   float64
+	}{
+		{"diode-load ", biodeg.DiodeLoad, 0},
+		{"biased-load", biodeg.BiasedLoad, -5},
+		{"pseudo-E   ", biodeg.PseudoE, -15},
+	} {
+		dc, err := biodeg.InverterDC(s.style, 15, s.vss)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  %v\n", s.name, dc)
+	}
+
+	fmt.Println("\nLibrary operating point (VDD = 5 V, VSS = -15 V, paper Sec. 4.3.3):")
+	dc, err := biodeg.InverterDC(biodeg.PseudoE, 5, -15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  pseudo-E    %v\n", dc)
+
+	fmt.Println("\nThe pseudo-E design reaches full swing with several times the")
+	fmt.Println("noise margin of the ratioed styles — it is the cell family the")
+	fmt.Println("organic library is built from.")
+}

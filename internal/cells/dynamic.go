@@ -1,0 +1,106 @@
+package cells
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spice"
+)
+
+// Dynamic pseudo-PMOS logic (paper Section 7 future work): a precharge
+// transistor holds the output high while the clock is low; during
+// evaluate, a p-type pull-down network (conducting when its inputs are
+// LOW) discharges the output through a clocked foot transistor. With
+// active-low inputs the gate computes OR (domino-style non-inverting
+// logic). Compared to the static pseudo-E NOR it needs roughly half the
+// transistors and avoids the ratioed level shifter, at the cost of
+// clock energy every cycle — exactly the tradeoff the paper sketches.
+const (
+	wPrecharge = 400e-6
+	wEval      = 800e-6
+	wFoot      = 800e-6
+)
+
+// DynamicGateResult compares the dynamic OR against the static pseudo-E
+// implementation of the same function.
+type DynamicGateResult struct {
+	EvalDelay     float64 // clock edge to output 50% (worst case, s)
+	StaticDelay   float64 // pseudo-E NOR+INV delay for the same OR (s)
+	Transistors   int     // dynamic gate
+	StaticTrans   int     // pseudo-E NOR + INV
+	EnergyPerEval float64 // supply energy of one precharge+evaluate, J
+	StaticPower   float64 // pseudo-E worst-case static power, W
+}
+
+// buildDynamicOr wires an n-input dynamic OR: out precharges high while
+// clk is low and discharges during evaluate when any (active-low) input
+// is asserted.
+func buildDynamicOr(c *spice.Circuit, inputs []spice.Node, out, vdd, clk, clkb spice.Node) {
+	// Precharge: conducts while clk is low.
+	addOTFT(c, "Mpre", out, clk, vdd, wPrecharge, organicL)
+	// Parallel evaluate network to an internal foot node.
+	foot := c.Node("foot")
+	for i, in := range inputs {
+		addOTFT(c, fmt.Sprintf("Mev%d", i), foot, in, out, wEval, organicL)
+	}
+	// Foot: enabled during evaluate (clkb low).
+	addOTFT(c, "Mfoot", spice.Ground, clkb, foot, wFoot, organicL)
+}
+
+// AnalyzeDynamicOr characterizes a 2-input dynamic OR against the static
+// pseudo-E equivalent at the library operating point.
+func AnalyzeDynamicOr(vdd, vss float64) (DynamicGateResult, error) {
+	var res DynamicGateResult
+	res.Transistors = 2 + 2 // precharge + foot + 2 evaluate
+	res.StaticTrans = 6 + 4 // pseudo-E NOR2 + INV
+
+	// Transient: precharge for half a period, then evaluate with one
+	// input asserted (active-low). Organic time scale.
+	period := 80 * 1e-4
+	half := period / 2
+	evalWin := period / 4
+	c := spice.NewCircuit()
+	c.MaxStep = 2.0
+	vddN := c.Node("vdd")
+	c.V("VDD", vddN, spice.Ground, spice.DC(vdd))
+	clk := c.Node("clk")
+	clkb := c.Node("clkb")
+	edge := 1e-4
+	// One full cycle: precharge, evaluate for a quarter period, then
+	// precharge again (so the supply-energy integral covers the
+	// recharging of the discharged output).
+	c.V("CLK", clk, spice.Ground, spice.Pulse{V0: 0, V1: vdd, Delay: half, Rise: edge, Width: evalWin, Fall: edge})
+	c.V("CLKB", clkb, spice.Ground, spice.Pulse{V0: vdd, V1: 0, Delay: half, Rise: edge, Width: evalWin, Fall: edge})
+	a := c.Node("a")
+	b := c.Node("b")
+	// Input A asserted (active-low) throughout; B deasserted.
+	c.V("VA", a, spice.Ground, spice.DC(0))
+	c.V("VB", b, spice.Ground, spice.DC(vdd))
+	out := c.Node("out")
+	buildDynamicOr(c, []spice.Node{a, b}, out, vddN, clk, clkb)
+	// Nominal fan-out load: one pseudo-E pin.
+	c.C("CL", out, spice.Ground, organicPinCap(1))
+	tr, err := c.Transient(period, period/4000, out)
+	if err != nil {
+		return res, fmt.Errorf("cells: dynamic transient: %w", err)
+	}
+	v := tr.V(out)
+	tClk := half + edge/2
+	tOut := spice.CrossTime(tr.Times, v, vdd/2, false, half)
+	if math.IsNaN(tOut) {
+		return res, fmt.Errorf("cells: dynamic gate never evaluated")
+	}
+	res.EvalDelay = tOut - tClk
+	res.EnergyPerEval = tr.SupplyEnergy(map[string]float64{"VDD": vdd}, 0, period)
+
+	// Static comparison: pseudo-E OR = NOR2 + INV at the same load, from
+	// the characterized library.
+	lib := Library(Organic())
+	nor := lib.MustCell("NOR2")
+	inv := lib.MustCell("INV")
+	load := organicPinCap(1)
+	res.StaticDelay = nor.WorstArc(0, inv.InputCap).WorstDelay(0, inv.InputCap) +
+		inv.WorstArc(0, load).WorstDelay(0, load)
+	res.StaticPower = math.Max(nor.LeakLow, nor.LeakHigh) + math.Max(inv.LeakLow, inv.LeakHigh)
+	return res, nil
+}

@@ -1,0 +1,91 @@
+// Package cells defines the transistor-level standard cells of the two
+// technologies (organic pentacene pseudo-E logic and silicon 45 nm
+// complementary CMOS), and characterizes them into liberty NLDM
+// libraries using the spice engine. It reproduces Section 4 of the
+// paper: inverter style comparison, pseudo-E cell family, and library
+// characterization.
+package cells
+
+import (
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/spice"
+)
+
+// Proto is a buildable combinational standard-cell prototype.
+type Proto struct {
+	Name        string
+	Inputs      []string
+	Output      string
+	Function    string
+	Eval        func(map[string]bool) bool
+	Build       func(c *spice.Circuit, pins map[string]spice.Node)
+	Transistors int
+	Area        float64 // m^2
+	InputCap    float64 // F per input pin
+}
+
+// Technology bundles everything needed to build and characterize one
+// process's cell library.
+type Technology struct {
+	Name      string
+	VDD       float64
+	VSS       float64 // auxiliary negative rail (pseudo-E); 0 if unused
+	TimeScale float64 // characteristic gate delay, sets characterization windows
+	MaxStep   float64 // Newton damping limit appropriate to the voltage range
+	Protos    []*Proto
+
+	// DFF composition: the flip-flop is a 6-gate NAND master-slave
+	// structure; its timing is derived from the characterized NAND cells
+	// (see deriveDFF).
+	DFFTransistors int
+	DFFArea        float64
+	DFFInputCap    float64
+	DFFClockCap    float64
+
+	// Wire parasitics for the STA wire model.
+	WireResPerM float64 // ohm/m
+	WireCapPerM float64 // F/m
+	// CellPitch approximates the linear dimension contributed by one
+	// average placed cell, used to estimate wire lengths from block size.
+	CellPitch float64 // m
+}
+
+var (
+	organicOnce sync.Once
+	organicTech *Technology
+	siliconOnce sync.Once
+	siliconTech *Technology
+)
+
+// Organic returns the pentacene pseudo-E technology (paper defaults:
+// VDD = 5 V, VSS = -15 V).
+func Organic() *Technology {
+	organicOnce.Do(func() { organicTech = newOrganic() })
+	return organicTech
+}
+
+// Silicon returns the 45 nm-class complementary CMOS technology.
+func Silicon() *Technology {
+	siliconOnce.Do(func() { siliconTech = newSilicon() })
+	return siliconTech
+}
+
+// pentaceneSized returns the golden pentacene model rescaled to the
+// given channel geometry. The leakage floor scales with W/L relative to
+// the measured 1000/80 um device.
+func pentaceneSized(w, l float64) (*device.Level61, device.Geometry) {
+	m := device.PentaceneGolden()
+	scale := (w / l) / (device.PentaceneW / device.PentaceneL)
+	m.Geom = device.Geometry{W: w, L: l, Cox: device.PentaceneCox()}
+	m.ILeak *= scale
+	return m, m.Geom
+}
+
+// newCircuit returns a circuit tuned for this technology's voltage range.
+func (t *Technology) newCircuit() *spice.Circuit {
+	c := spice.NewCircuit()
+	c.MaxStep = t.MaxStep
+	return c
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/pipeline"
+	"repro/internal/sta"
+)
+
+// aluRankBits is the register width per pipeline cut of the complex ALU
+// (carry-save partial sums plus operand/control forwarding).
+const aluRankBits = 128
+
+var (
+	aluMu    sync.Mutex
+	aluNet   *logic.Netlist
+	aluCache = map[string]*sta.Result{}
+)
+
+// aluResult analyzes (with caching) the 32-bit complex ALU for one
+// technology and wire mode.
+func aluResult(t *Tech, wire bool) (*sta.Result, error) {
+	key := t.Name
+	if !wire {
+		key += "-nowire"
+	}
+	aluMu.Lock()
+	if aluNet == nil {
+		aluNet = logic.BuildComplexALU(dataWidth)
+	}
+	nl := aluNet
+	if r, ok := aluCache[key]; ok {
+		aluMu.Unlock()
+		return r, nil
+	}
+	aluMu.Unlock()
+	res, err := sta.AnalyzeNetlist(nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
+	if err != nil {
+		return nil, err
+	}
+	aluMu.Lock()
+	aluCache[key] = res
+	aluMu.Unlock()
+	return res, nil
+}
+
+// ALUDepthSweep reproduces Figure 12: pipeline the complex ALU
+// (multiplier + stallable-divider datapath) from 1 to maxStages and
+// report frequency and area at each depth.
+func ALUDepthSweep(t *Tech, maxStages int, wire bool) ([]pipeline.Point, error) {
+	return ALUDepthSweepK(t, maxStages, wire, 0)
+}
+
+// ALUDepthSweepK is ALUDepthSweep with an explicit feedback-wire
+// constant (0 selects the pipeline package default) — the ablation knob
+// for the paper's causal mechanism.
+func ALUDepthSweepK(t *Tech, maxStages int, wire bool, feedbackK float64) ([]pipeline.Point, error) {
+	res, err := aluResult(t, wire)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{
+		RankBits:  aluRankBits,
+		Wire:      t.Wire,
+		UseWire:   wire,
+		FeedbackK: feedbackK,
+	}
+	return pipeline.SweepDepth(res, t.DFF(), cfg, maxStages), nil
+}
+
+// ALUResult exposes the analyzed complex-ALU timing (for the
+// partitioning ablation bench).
+func ALUResult(t *Tech, wire bool) (*sta.Result, error) { return aluResult(t, wire) }
+
+// NormalizePoints scales frequency and area to the 1-stage entry.
+func NormalizePoints(pts []pipeline.Point) (freq, area []float64) {
+	freq = make([]float64, len(pts))
+	area = make([]float64, len(pts))
+	for i, p := range pts {
+		freq[i] = p.Freq / pts[0].Freq
+		area[i] = p.Area / pts[0].Area
+	}
+	return freq, area
+}

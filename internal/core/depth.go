@@ -1,0 +1,104 @@
+package core
+
+import (
+	"repro/internal/pipeline"
+)
+
+// DepthPoint is one pipeline depth of the Figure 11 experiment.
+type DepthPoint struct {
+	Depth  int
+	Period float64
+	Freq   float64
+	Area   float64
+	// CutStage is the stage the last cut landed in ("" for baseline).
+	CutStage string
+	// Cuts is the per-stage sub-stage count at this depth.
+	Cuts map[StageName]int
+	// IPC and Perf (IPC x frequency) per benchmark.
+	IPC  map[string]float64
+	Perf map[string]float64
+}
+
+// CoreDepthSweep reproduces the paper's depth procedure: start from the
+// 9-stage baseline (front-end width 1, three execution pipes) and
+// repeatedly cut the stage on the critical path, re-simulating IPC for
+// each resulting design (the cut placement differs between technologies
+// because their critical stages differ — Section 5.5).
+func CoreDepthSweep(t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, error) {
+	const fe, be = 1, 3
+	blocks, err := coreBlocks(t, fe, be, wire)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{Wire: t.Wire, UseWire: wire}
+	dff := t.DFF()
+	var pts []DepthPoint
+	lastCut := ""
+	for depth := int(numStages); depth <= maxDepth; depth++ {
+		if depth > int(numStages) {
+			lastCut = pipeline.CutCritical(blocks).Name
+		}
+		if depth < minDepth {
+			continue
+		}
+		period, tp := pipeline.CoreTiming(blocks, dff, cfg)
+		cuts := map[StageName]int{}
+		for i, b := range blocks {
+			cuts[StageName(i)] = b.Cuts
+		}
+		ucfg := uarchConfig(fe, be, cuts)
+		pt := DepthPoint{
+			Depth:    depth,
+			Period:   period,
+			Freq:     tp.Freq,
+			Area:     tp.Area,
+			CutStage: lastCut,
+			Cuts:     cuts,
+			IPC:      map[string]float64{},
+			Perf:     map[string]float64{},
+		}
+		for _, b := range Benchmarks() {
+			st, err := BenchIPC(b, ucfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.IPC[b] = st.IPC
+			pt.Perf[b] = st.IPC * tp.Freq
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// NormalizeDepth scales a sweep's Freq/Area/Perf to its first point
+// (the paper normalizes to the 9-stage baseline).
+func NormalizeDepth(pts []DepthPoint) []DepthPoint {
+	if len(pts) == 0 {
+		return pts
+	}
+	base := pts[0]
+	out := make([]DepthPoint, len(pts))
+	for i, p := range pts {
+		q := p
+		q.Freq = p.Freq / base.Freq
+		q.Area = p.Area / base.Area
+		q.Perf = map[string]float64{}
+		for b, v := range p.Perf {
+			q.Perf[b] = v / base.Perf[b]
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// BestDepth returns the depth with the highest performance for the
+// given benchmark.
+func BestDepth(pts []DepthPoint, bench string) int {
+	best, bestV := 0, 0.0
+	for _, p := range pts {
+		if v := p.Perf[bench]; v > bestV {
+			best, bestV = p.Depth, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/uarch"
+	"repro/internal/workload"
+)
+
+// uarchConfig derives the cycle-level model's configuration from the
+// widths and per-stage cut counts: front-end cuts lengthen the
+// fetch-to-dispatch pipe (and thus the mispredict penalty), issue cuts
+// break back-to-back wakeup, and regread/execute cuts add bypass
+// latency. Writeback/retire cuts do not slow the steady-state dataflow.
+func uarchConfig(fe, be int, cuts map[StageName]int) uarch.Config {
+	cfg := uarch.DefaultConfig()
+	cfg.FrontWidth = fe
+	cfg.BackWidth = be
+	if cuts != nil {
+		cfg.FrontStages = cuts[StFetch] + cuts[StDecode] + cuts[StRename] + cuts[StDispatch]
+		cfg.IssueStages = cuts[StIssue] - 1
+		cfg.ExecStages = (cuts[StRegRead] - 1) + (cuts[StExecute] - 1)
+	}
+	return cfg
+}
+
+type ipcKey struct {
+	bench string
+	cfg   uarch.Config
+}
+
+var (
+	ipcMu    sync.Mutex
+	ipcCache = map[ipcKey]uarch.Stats{}
+)
+
+// BenchIPC runs (with caching) one workload through the cycle-level
+// model and returns its statistics.
+func BenchIPC(bench string, cfg uarch.Config) (uarch.Stats, error) {
+	key := ipcKey{bench, cfg}
+	ipcMu.Lock()
+	if st, ok := ipcCache[key]; ok {
+		ipcMu.Unlock()
+		return st, nil
+	}
+	ipcMu.Unlock()
+	w := workload.ByName(bench)
+	if w == nil {
+		return uarch.Stats{}, fmt.Errorf("core: unknown benchmark %q", bench)
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		return uarch.Stats{}, err
+	}
+	src := &uarch.MachineSource{M: m, Max: w.MaxInstr}
+	st := uarch.Run(src, cfg)
+	if src.Err != nil {
+		return uarch.Stats{}, fmt.Errorf("core: %s: %w", bench, src.Err)
+	}
+	if err := w.Verify(m); err != nil {
+		return uarch.Stats{}, err
+	}
+	ipcMu.Lock()
+	ipcCache[key] = st
+	ipcMu.Unlock()
+	return st, nil
+}
+
+// Benchmarks returns the benchmark names in reporting order.
+func Benchmarks() []string {
+	ws := workload.All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// MeanIPC averages IPC over all benchmarks for one configuration (the
+// metric behind Figure 13).
+func MeanIPC(cfg uarch.Config) (float64, error) {
+	var sum float64
+	names := Benchmarks()
+	for _, b := range names {
+		st, err := BenchIPC(b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += st.IPC
+	}
+	return sum / float64(len(names)), nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: row/column headers and values.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  []string
+	V     [][]float64
+	// Fmt is the value format (default %.3g).
+	Fmt string
+	// Note carries the paper-vs-measured commentary.
+	Note string
+}
+
+// Render returns an aligned ASCII table.
+func (t *Table) Render() string {
+	f := t.Fmt
+	if f == "" {
+		f = "%.3g"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Cols)+1)
+	for _, r := range t.Rows {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	cells := make([][]string, len(t.V))
+	for i, row := range t.V {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = fmt.Sprintf(f, v)
+			if l := len(cells[i][j]); l > widths[j+1] {
+				widths[j+1] = l
+			}
+		}
+	}
+	for j, c := range t.Cols {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0]+2, "")
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", widths[j+1]+2, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0]+2, r)
+		for j := range t.Cols {
+			v := ""
+			if i < len(cells) && j < len(cells[i]) {
+				v = cells[i][j]
+			}
+			fmt.Fprintf(&b, "%*s", widths[j+1]+2, v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/pipeline"
+	"repro/internal/sta"
+)
+
+// Microarchitectural structure sizes shared by the stage netlists and
+// the cycle-level model (AnyCore-class baseline).
+const (
+	archRegs  = 32
+	physRegs  = 64
+	tagBits   = 7 // log2(physRegs) + 1 valid-ish bit
+	iqEntries = 16
+	dataWidth = 32
+)
+
+// StageName enumerates the baseline 9-stage pipeline.
+type StageName int
+
+// Baseline stages, in order.
+const (
+	StFetch StageName = iota
+	StDecode
+	StRename
+	StDispatch
+	StIssue
+	StRegRead
+	StExecute
+	StWriteback
+	StRetire
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"fetch", "decode", "rename", "dispatch", "issue", "regread",
+	"execute", "writeback", "retire",
+}
+
+func (s StageName) String() string { return stageNames[s] }
+
+// rankBits estimates the signals crossing a cut inside each stage
+// (pipeline register width per sub-stage boundary).
+func rankBits(s StageName, fe, be int) int {
+	switch s {
+	case StFetch, StDecode:
+		return fe * 64
+	case StRename, StDispatch:
+		return fe * 40
+	case StIssue:
+		return be * 16
+	case StRegRead:
+		return be * 80
+	case StExecute:
+		return be * 72
+	case StWriteback:
+		return be * 40
+	default:
+		return fe * 8
+	}
+}
+
+// buildStage constructs the combinational netlist of one baseline stage
+// for the given front-end width fe and back-end pipe count be.
+func buildStage(s StageName, fe, be int) *logic.Netlist {
+	alu := be - 2 // ALU pipes (1 mem + 1 control pipe are fixed)
+	if alu < 1 {
+		alu = 1
+	}
+	n := logic.New(fmt.Sprintf("%s-f%d-b%d", s, fe, be))
+	switch s {
+	case StFetch:
+		// Next-PC adder, BTB tag compare, way mux, and fetch alignment.
+		pc := n.InputBus("pc", dataWidth)
+		inc := n.InputBus("inc", dataWidth)
+		npc, _ := n.CLAAdder(pc, inc, n.Const(false))
+		tag := n.InputBus("btbtag", 20)
+		hit := n.Equal(tag, n.InputBus("pctag", 20))
+		target := n.InputBus("target", dataWidth)
+		next := n.MuxBus(hit, npc, target)
+		n.OutputBus("npc", next)
+		// Alignment mux: rotate fe fetched words by the PC's low bits.
+		words := make([][]logic.Sig, fe*2)
+		for i := range words {
+			words[i] = n.InputBus(fmt.Sprintf("iw%d", i), dataWidth)
+		}
+		sel := n.InputBus("align", logic.Log2Ceil(len(words)))
+		for k := 0; k < fe; k++ {
+			n.OutputBus(fmt.Sprintf("slot%d", k), n.MuxTree(sel, words[k:k+fe+1]))
+		}
+	case StDecode:
+		// Per-slot opcode decode: a 7-bit decoder plus control ORs.
+		for k := 0; k < fe; k++ {
+			op := n.InputBus(fmt.Sprintf("op%d", k), 7)
+			onehot := n.Decoder(op[:6])
+			var ctl []logic.Sig
+			for g := 0; g+8 <= len(onehot); g += 8 {
+				ctl = append(ctl, n.ReduceOr(onehot[g:g+8]))
+			}
+			n.OutputBus(fmt.Sprintf("ctl%d", k), ctl)
+			n.Output(fmt.Sprintf("isbr%d", k), n.ReduceOr(onehot[:4]))
+		}
+	case StRename:
+		// Map-table read ports (2 per slot) plus intra-group dependency
+		// cross-compares (the width-squared piece of rename).
+		table := make([][]logic.Sig, archRegs)
+		for r := range table {
+			table[r] = n.InputBus(fmt.Sprintf("map%d", r), tagBits)
+		}
+		srcs := make([][]logic.Sig, 0, 2*fe)
+		dsts := make([][]logic.Sig, 0, fe)
+		for k := 0; k < fe; k++ {
+			for o := 0; o < 2; o++ {
+				a := n.InputBus(fmt.Sprintf("s%d_%d", k, o), logic.Log2Ceil(archRegs))
+				srcs = append(srcs, n.RegisterFileRead(a, table))
+			}
+			dsts = append(dsts, n.InputBus(fmt.Sprintf("d%d", k), logic.Log2Ceil(archRegs)))
+		}
+		for k := 1; k < fe; k++ {
+			for j := 0; j < k; j++ {
+				match := n.Equal(dsts[j], dsts[k])
+				srcs[2*k] = n.MuxBus(match, srcs[2*k], srcs[2*j])
+			}
+		}
+		for k, sbus := range srcs {
+			n.OutputBus(fmt.Sprintf("tag%d", k), sbus)
+		}
+		// Free-list allocation: pick fe free physical registers, one
+		// after another — the serial, width-critical piece of rename.
+		free := n.InputBus("free", physRegs)
+		for k, g := range n.SelectN(free, fe) {
+			n.OutputBus(fmt.Sprintf("freetag%d", k), g)
+		}
+	case StDispatch:
+		// IQ entry allocation: free-entry priority arbitration per slot
+		// plus entry write decoders.
+		free := n.InputBus("free", iqEntries)
+		grants := n.SelectN(free, fe)
+		for k, g := range grants {
+			n.OutputBus(fmt.Sprintf("alloc%d", k), g)
+		}
+	case StIssue:
+		return logic.BuildIssueSelect(iqEntries, alu, tagBits)
+	case StRegRead:
+		return logic.BuildRegfileRead(physRegs, dataWidth, 2*be)
+	case StExecute:
+		// One simple ALU plus the full bypass network and an AGU.
+		a := n.InputBus("a", dataWidth)
+		b := n.InputBus("b", dataWidth)
+		op := n.InputBus("op", 3)
+		sub := op[0]
+		bx := make([]logic.Sig, dataWidth)
+		for i := range bx {
+			bx[i] = n.Xor(b[i], sub)
+		}
+		sum, _ := n.CLAAdder(a, bx, sub)
+		n.OutputBus("alu", sum)
+		// AGU.
+		base := n.InputBus("base", dataWidth)
+		off := n.InputBus("off", dataWidth)
+		ea, _ := n.CLAAdder(base, off, n.Const(false))
+		n.OutputBus("ea", ea)
+		// Bypass for all pipes (the width-critical network).
+		resTags := make([][]logic.Sig, be)
+		resVals := make([][]logic.Sig, be)
+		for i := 0; i < be; i++ {
+			resTags[i] = n.InputBus(fmt.Sprintf("rt%d", i), tagBits)
+			resVals[i] = n.InputBus(fmt.Sprintf("rv%d", i), dataWidth)
+		}
+		for p := 0; p < be; p++ {
+			for o := 0; o < 2; o++ {
+				tg := n.InputBus(fmt.Sprintf("t%d_%d", p, o), tagBits)
+				rv := n.InputBus(fmt.Sprintf("g%d_%d", p, o), dataWidth)
+				n.OutputBus(fmt.Sprintf("byp%d_%d", p, o), n.BypassNetwork(tg, rv, resTags, resVals))
+			}
+		}
+	case StWriteback:
+		// Result-bus arbitration into physical-register write ports.
+		for p := 0; p < be; p++ {
+			v := n.InputBus(fmt.Sprintf("v%d", p), dataWidth)
+			en := n.Input(fmt.Sprintf("en%d", p))
+			outs := make([]logic.Sig, dataWidth)
+			for i := range outs {
+				outs[i] = n.And(v[i], en)
+			}
+			n.OutputBus(fmt.Sprintf("w%d", p), outs)
+		}
+	case StRetire:
+		// ROB head: completion AND-chain and exception prioritization
+		// across the retire group.
+		done := n.InputBus("done", 2*fe)
+		exc := n.InputBus("exc", 2*fe)
+		grants := n.PriorityArbiter(exc)
+		var chain logic.Sig = done[0]
+		for k := 1; k < len(done); k++ {
+			chain = n.And(chain, done[k])
+		}
+		n.Output("allok", chain)
+		n.OutputBus("excsel", grants)
+	}
+	return n
+}
+
+// stageKey caches analyzed stages across experiments.
+type stageKey struct {
+	tech  string
+	stage StageName
+	fe    int
+	be    int
+	wire  bool
+}
+
+var (
+	stageMu    sync.Mutex
+	stageCache = map[stageKey]*sta.Result{}
+)
+
+// analyzeStage synthesizes and times one stage netlist for a technology.
+// Each stage depends on only one of the two widths; the other is zeroed
+// in the cache key so width sweeps reuse timing across configurations.
+func analyzeStage(t *Tech, s StageName, fe, be int, wire bool) (*sta.Result, error) {
+	switch s {
+	case StFetch, StDecode, StRename, StDispatch, StRetire:
+		be = 0
+	default:
+		fe = 0
+	}
+	key := stageKey{t.Name, s, fe, be, wire}
+	stageMu.Lock()
+	if r, ok := stageCache[key]; ok {
+		stageMu.Unlock()
+		return r, nil
+	}
+	stageMu.Unlock()
+	nl := buildStage(s, fe, be)
+	res, err := sta.AnalyzeNetlist(nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%v: %w", t.Name, s, err)
+	}
+	stageMu.Lock()
+	stageCache[key] = res
+	stageMu.Unlock()
+	return res, nil
+}
+
+// coreBlocks builds the nine analyzed baseline blocks.
+func coreBlocks(t *Tech, fe, be int, wire bool) ([]*pipeline.StagedBlock, error) {
+	blocks := make([]*pipeline.StagedBlock, 0, int(numStages))
+	for s := StFetch; s < numStages; s++ {
+		res, err := analyzeStage(t, s, fe, be, wire)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, &pipeline.StagedBlock{
+			Name:     s.String(),
+			Result:   res,
+			Cuts:     1,
+			RankBits: rankBits(s, fe, be),
+		})
+	}
+	return blocks, nil
+}

@@ -1,0 +1,63 @@
+// Package core is the paper's primary contribution: the architectural
+// design-space explorer for organic versus silicon processes. It ties
+// the substrates together — characterized cell libraries (cells),
+// gate-level netlists (logic), synthesis and timing (synth/sta),
+// pipelining (pipeline), and the cycle-level core model (uarch) — into
+// the experiments behind every figure of the evaluation (Section 5).
+package core
+
+import (
+	"sync"
+
+	"repro/internal/cells"
+	"repro/internal/liberty"
+	"repro/internal/sta"
+)
+
+// Tech bundles one technology's characterized library and wire model.
+type Tech struct {
+	Name string
+	Cell *cells.Technology
+	Lib  *liberty.Library
+	Wire sta.Wire
+}
+
+var (
+	techMu    sync.Mutex
+	techCache = map[string]*Tech{}
+)
+
+// newTech builds (and caches) a Tech from a cells technology,
+// characterizing its library on first use.
+func newTech(ct *cells.Technology) *Tech {
+	techMu.Lock()
+	defer techMu.Unlock()
+	if t, ok := techCache[ct.Name]; ok {
+		return t
+	}
+	t := &Tech{
+		Name: ct.Name,
+		Cell: ct,
+		Lib:  cells.Library(ct),
+		Wire: sta.Wire{
+			ResPerM: ct.WireResPerM,
+			CapPerM: ct.WireCapPerM,
+			Pitch:   ct.CellPitch,
+		},
+	}
+	techCache[ct.Name] = t
+	return t
+}
+
+// OrganicTech returns the pentacene pseudo-E technology.
+func OrganicTech() *Tech { return newTech(cells.Organic()) }
+
+// SiliconTech returns the 45 nm complementary CMOS technology.
+func SiliconTech() *Tech { return newTech(cells.Silicon()) }
+
+// BothTechs returns the two technologies in reporting order
+// (silicon first, as the paper's figure panels do).
+func BothTechs() []*Tech { return []*Tech{SiliconTech(), OrganicTech()} }
+
+// DFF returns the technology's characterized flip-flop.
+func (t *Tech) DFF() *liberty.Cell { return t.Lib.MustCell("DFF") }

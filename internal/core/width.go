@@ -1,0 +1,118 @@
+package core
+
+import "repro/internal/pipeline"
+
+// Width ranges of the Figures 13-14 experiment.
+const (
+	MinFront = 1
+	MaxFront = 6
+	MinBack  = 3
+	MaxBack  = 7
+)
+
+// WidthPoint is one (front-end, back-end) configuration.
+type WidthPoint struct {
+	Front, Back int
+	Period      float64
+	Freq        float64
+	Area        float64
+	MeanIPC     float64
+	Perf        float64 // MeanIPC x Freq
+}
+
+// WidthSweep synthesizes the thirty width configurations of the paper
+// (front-end width 1-6 x back-end pipes 3-7) at the 9-stage baseline
+// depth and reports period, area, and benchmark-averaged performance.
+func WidthSweep(t *Tech) ([]WidthPoint, error) {
+	var pts []WidthPoint
+	dff := t.DFF()
+	for be := MinBack; be <= MaxBack; be++ {
+		for fe := MinFront; fe <= MaxFront; fe++ {
+			blocks, err := coreBlocks(t, fe, be, true)
+			if err != nil {
+				return nil, err
+			}
+			period, tp := pipeline.CoreTiming(blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
+			mean, err := MeanIPC(uarchConfig(fe, be, nil))
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, WidthPoint{
+				Front:   fe,
+				Back:    be,
+				Period:  period,
+				Freq:    tp.Freq,
+				Area:    tp.Area,
+				MeanIPC: mean,
+				Perf:    mean * tp.Freq,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// Matrix arranges a width sweep into the paper's M[back][front] layout,
+// normalized so the maximum entry is 1 (select Perf or Area via area).
+func Matrix(pts []WidthPoint, area bool) [][]float64 {
+	rows := MaxBack - MinBack + 1
+	cols := MaxFront - MinFront + 1
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	max := 0.0
+	for _, p := range pts {
+		v := p.Perf
+		if area {
+			v = p.Area
+		}
+		m[p.Back-MinBack][p.Front-MinFront] = v
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] /= max
+			}
+		}
+	}
+	return m
+}
+
+// Optimal returns the (front, back) of the best-performing point.
+func Optimal(pts []WidthPoint) (fe, be int) {
+	best := -1.0
+	for _, p := range pts {
+		if p.Perf > best {
+			best, fe, be = p.Perf, p.Front, p.Back
+		}
+	}
+	return fe, be
+}
+
+// StageDelay pairs a stage name with its per-stage delay.
+type StageDelay struct {
+	Name  string
+	Delay float64
+}
+
+// StageDelays reports each baseline stage's combinational delay for
+// diagnostics and the ablation benches.
+func StageDelays(t *Tech, fe, be int, wire bool) ([]StageDelay, error) {
+	blocks, err := coreBlocks(t, fe, be, wire)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StageDelay, len(blocks))
+	for i, b := range blocks {
+		out[i] = StageDelay{Name: b.Name, Delay: b.Delay()}
+	}
+	return out, nil
+}
+
+// MeanIPCAt is MeanIPC at the baseline depth for a width pair.
+func MeanIPCAt(fe, be int) (float64, error) {
+	return MeanIPC(uarchConfig(fe, be, nil))
+}

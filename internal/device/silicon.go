@@ -1,0 +1,49 @@
+package device
+
+// Silicon 45 nm-class baseline parameters. The paper uses a trimmed TSMC
+// 45 nm library; we model a generic 45 nm bulk process with a
+// velocity-saturated square-law device calibrated so the characterized
+// inverter FO4 delay lands in the published 45 nm range (~15-20 ps).
+const (
+	// SiliconL is the drawn channel length.
+	SiliconL = 45e-9
+	// SiliconWN and SiliconWP are the unit NMOS/PMOS widths used by the
+	// standard cells (PMOS wider to balance its lower mobility).
+	SiliconWN = 270e-9
+	SiliconWP = 405e-9
+	// SiliconVDD is the nominal supply.
+	SiliconVDD = 1.1
+	// SiliconVT is the magnitude of both threshold voltages.
+	SiliconVT = 0.35
+)
+
+// SiliconCox returns the per-area gate capacitance for a 45 nm-class
+// high-k stack (~1.2 nm equivalent oxide thickness).
+func SiliconCox() float64 { return OxideCapacitance(3.9, 1.2e-9) }
+
+// SiliconNMOS returns the n-channel model for the given width.
+func SiliconNMOS(w float64) *VelSatLevel1 {
+	return &VelSatLevel1{
+		Level1: Level1{
+			Geom:   Geometry{W: w, L: SiliconL, Cox: SiliconCox()},
+			VT:     SiliconVT,
+			Mu:     0.020, // 200 cm^2/Vs effective (mobility degradation included)
+			Lambda: 0.15,
+		},
+		VSat: 8.5e4,
+	}
+}
+
+// SiliconPMOS returns the p-channel model (n-normalized; the simulator
+// mirrors terminal voltages) for the given width.
+func SiliconPMOS(w float64) *VelSatLevel1 {
+	return &VelSatLevel1{
+		Level1: Level1{
+			Geom:   Geometry{W: w, L: SiliconL, Cox: SiliconCox()},
+			VT:     SiliconVT,
+			Mu:     0.010, // holes: ~half the electron mobility
+			Lambda: 0.15,
+		},
+		VSat: 6.5e4,
+	}
+}

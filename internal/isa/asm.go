@@ -1,0 +1,284 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// regNames maps assembler register names to indices.
+var regNames = func() map[string]uint8 {
+	m := map[string]uint8{"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = uint8(i)
+	}
+	for i, n := range []string{"t0", "t1", "t2"} {
+		m[n] = uint8(5 + i)
+	}
+	m["s0"] = 8
+	m["fp"] = 8
+	m["s1"] = 9
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("a%d", i)] = uint8(10 + i)
+	}
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("s%d", i)] = uint8(16 + i)
+	}
+	for i := 3; i <= 6; i++ {
+		m[fmt.Sprintf("t%d", i)] = uint8(25 + i)
+	}
+	return m
+}()
+
+// Program is an assembled image.
+type Program struct {
+	Words  []uint32 // instruction/data words, loaded at Origin
+	Origin uint32
+	Labels map[string]uint32
+}
+
+// Assemble translates two-pass assembly source into a program image.
+// Supported directives: .org ADDR (once, at the top), .word V, .space N
+// (N bytes, word-aligned). Labels end with ':'; comments start with
+// '#' or ';'. Branch/jump targets may be labels or numeric offsets.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Origin: 0, Labels: map[string]uint32{}}
+	type line struct {
+		no     int
+		fields []string
+		raw    string
+	}
+	var lines []line
+	addr := uint32(0)
+	// Pass 1: strip, collect labels, compute addresses.
+	for no, raw := range strings.Split(src, "\n") {
+		s := raw
+		if i := strings.IndexAny(s, "#;"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		for strings.Contains(s, ":") {
+			i := strings.Index(s, ":")
+			label := strings.TrimSpace(s[:i])
+			if label == "" {
+				return nil, fmt.Errorf("asm:%d: empty label", no+1)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("asm:%d: duplicate label %q", no+1, label)
+			}
+			p.Labels[label] = p.Origin + addr
+			s = strings.TrimSpace(s[i+1:])
+		}
+		if s == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(s, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		l := line{no: no + 1, fields: fields, raw: s}
+		switch fields[0] {
+		case ".org":
+			if addr != 0 {
+				return nil, fmt.Errorf("asm:%d: .org must precede code", l.no)
+			}
+			v, err := parseInt(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm:%d: %v", l.no, err)
+			}
+			p.Origin = uint32(v)
+			continue
+		case ".space":
+			v, err := parseInt(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm:%d: %v", l.no, err)
+			}
+			addr += uint32((v + 3) / 4 * 4)
+			lines = append(lines, l)
+			continue
+		}
+		addr += 4
+		lines = append(lines, l)
+	}
+	// Pass 2: encode.
+	addr = 0
+	for _, l := range lines {
+		f := l.fields
+		switch f[0] {
+		case ".space":
+			v, _ := parseInt(f[1])
+			n := uint32((v + 3) / 4)
+			for i := uint32(0); i < n; i++ {
+				p.Words = append(p.Words, 0)
+			}
+			addr += 4 * n
+			continue
+		case ".word":
+			v, err := p.valueOf(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm:%d: %v", l.no, err)
+			}
+			p.Words = append(p.Words, uint32(v))
+			addr += 4
+			continue
+		}
+		in, err := p.parseInst(f, p.Origin+addr)
+		if err != nil {
+			return nil, fmt.Errorf("asm:%d: %q: %v", l.no, l.raw, err)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("asm:%d: %q: %v", l.no, l.raw, err)
+		}
+		p.Words = append(p.Words, w)
+		addr += 4
+	}
+	return p, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// valueOf resolves a numeric literal or label.
+func (p *Program) valueOf(s string) (int64, error) {
+	if v, ok := p.Labels[s]; ok {
+		return int64(v), nil
+	}
+	return parseInt(s)
+}
+
+func (p *Program) reg(s string) (uint8, error) {
+	if r, ok := regNames[s]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+// branchTarget resolves a branch/jump target to a PC-relative offset.
+func (p *Program) branchTarget(s string, pc uint32) (int32, error) {
+	if v, ok := p.Labels[s]; ok {
+		return int32(v) - int32(pc), nil
+	}
+	v, err := parseInt(s)
+	return int32(v), err
+}
+
+// memOperand parses "imm(reg)".
+func (p *Program) memOperand(s string) (int32, uint8, error) {
+	i := strings.Index(s, "(")
+	j := strings.Index(s, ")")
+	if i < 0 || j < i {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if i > 0 {
+		var err error
+		off, err = p.valueOf(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := p.reg(s[i+1 : j])
+	return int32(off), r, err
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for o := Op(0); o < numOps; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func (p *Program) parseInst(f []string, pc uint32) (Inst, error) {
+	op, ok := opByName[strings.ToLower(f[0])]
+	if !ok {
+		// Pseudo-instructions.
+		switch strings.ToLower(f[0]) {
+		case "li":
+			rd, err := p.reg(f[1])
+			if err != nil {
+				return Inst{}, err
+			}
+			v, err := p.valueOf(f[2])
+			if err != nil {
+				return Inst{}, err
+			}
+			if v >= -(1<<14) && v < 1<<14 {
+				return Inst{Op: ADDI, Rd: rd, Imm: int32(v)}, nil
+			}
+			return Inst{}, fmt.Errorf("li %d out of range; use lui+ori", v)
+		case "mv":
+			rd, err := p.reg(f[1])
+			if err != nil {
+				return Inst{}, err
+			}
+			rs, err := p.reg(f[2])
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: ADDI, Rd: rd, Rs1: rs}, nil
+		case "j":
+			off, err := p.branchTarget(f[1], pc)
+			return Inst{Op: JAL, Rd: 0, Imm: off}, err
+		case "ret":
+			return Inst{Op: JALR, Rd: 0, Rs1: 1}, nil
+		}
+		return Inst{}, fmt.Errorf("unknown op %q", f[0])
+	}
+	in := Inst{Op: op}
+	var err error
+	switch op {
+	case NOP, HALT:
+	case OUT:
+		in.Rs1, err = p.reg(f[1])
+	case LUI:
+		in.Rd, err = p.reg(f[1])
+		if err == nil {
+			var v int64
+			v, err = p.valueOf(f[2])
+			in.Imm = int32(v)
+		}
+	case JAL:
+		in.Rd, err = p.reg(f[1])
+		if err == nil {
+			in.Imm, err = p.branchTarget(f[2], pc)
+		}
+	case JALR:
+		in.Rd, err = p.reg(f[1])
+		if err == nil {
+			in.Imm, in.Rs1, err = p.memOperand(f[2])
+		}
+	case ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA, MUL, MULH, DIV, REM:
+		if in.Rd, err = p.reg(f[1]); err == nil {
+			if in.Rs1, err = p.reg(f[2]); err == nil {
+				in.Rs2, err = p.reg(f[3])
+			}
+		}
+	case ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI:
+		if in.Rd, err = p.reg(f[1]); err == nil {
+			if in.Rs1, err = p.reg(f[2]); err == nil {
+				var v int64
+				v, err = p.valueOf(f[3])
+				in.Imm = int32(v)
+			}
+		}
+	case LW, LH, LHU, LB, LBU:
+		if in.Rd, err = p.reg(f[1]); err == nil {
+			in.Imm, in.Rs1, err = p.memOperand(f[2])
+		}
+	case SW, SH, SB:
+		if in.Rs2, err = p.reg(f[1]); err == nil {
+			in.Imm, in.Rs1, err = p.memOperand(f[2])
+		}
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		if in.Rs1, err = p.reg(f[1]); err == nil {
+			if in.Rs2, err = p.reg(f[2]); err == nil {
+				in.Imm, err = p.branchTarget(f[3], pc)
+			}
+		}
+	default:
+		err = fmt.Errorf("unhandled op %v", op)
+	}
+	return in, err
+}

@@ -1,0 +1,255 @@
+// Package isa defines the 32-bit RISC instruction set used by the
+// reproduction's workloads: encoding, a two-pass assembler, and a
+// functional interpreter that produces the dynamic instruction traces
+// consumed by the cycle-level core model (internal/uarch). It stands in
+// for the SPEC CPU2000 / Dhrystone binaries and the functional side of
+// AnyCore's simulator.
+package isa
+
+import "fmt"
+
+// Op enumerates instruction opcodes. The set mirrors RV32IM's integer
+// subset plus HALT and OUT (byte output for workload validation).
+type Op uint8
+
+// Opcodes.
+const (
+	NOP Op = iota
+	// R-type.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLT
+	SLTU
+	SLL
+	SRL
+	SRA
+	MUL
+	MULH
+	DIV
+	REM
+	// I-type ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLLI
+	SRLI
+	SRAI
+	LUI
+	// Memory.
+	LW
+	LH
+	LHU
+	LB
+	LBU
+	SW
+	SH
+	SB
+	// Control.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL
+	JALR
+	// System.
+	OUT
+	HALT
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "add", "sub", "and", "or", "xor", "slt", "sltu", "sll", "srl",
+	"sra", "mul", "mulh", "div", "rem", "addi", "andi", "ori", "xori",
+	"slti", "slli", "srli", "srai", "lui", "lw", "lh", "lhu", "lb", "lbu",
+	"sw", "sh", "sb", "beq", "bne", "blt", "bge", "bltu", "bgeu", "jal",
+	"jalr", "out", "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by execution resource.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches and jumps
+	ClassSys
+)
+
+// Class returns the execution class of the opcode.
+func (o Op) Class() Class {
+	switch o {
+	case MUL, MULH:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case LW, LH, LHU, LB, LBU:
+		return ClassLoad
+	case SW, SH, SB:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR:
+		return ClassBranch
+	case OUT, HALT:
+		return ClassSys
+	}
+	return ClassALU
+}
+
+// IsBranch reports whether the opcode redirects control flow.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCond reports whether the opcode is a conditional branch.
+func (o Op) IsCond() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return true
+	}
+	return false
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op       Op
+	Rd       uint8
+	Rs1, Rs2 uint8
+	Imm      int32
+}
+
+// Encoding layout (32 bits):
+//
+//	[31:25] op (7)  [24:20] rd (5)  [19:15] rs1 (5)  [14:10] rs2 (5)
+//	[9:0]   imm low bits
+//
+// I/B-type immediates use rs2's field plus the low 10 bits (15 bits,
+// signed); J/LUI immediates use rd/rs1-adjacent bits for a 20-bit
+// signed immediate. The packing is lossless for the immediate ranges
+// the assembler accepts.
+const (
+	immIBits = 15
+	immJBits = 20
+)
+
+// Encode packs the instruction into a 32-bit word.
+func Encode(in Inst) (uint32, error) {
+	w := uint32(in.Op) << 25
+	switch in.Op {
+	case JAL, LUI:
+		if in.Imm < -(1<<(immJBits-1)) || in.Imm >= 1<<(immJBits-1) {
+			return 0, fmt.Errorf("isa: %v immediate %d out of 20-bit range", in.Op, in.Imm)
+		}
+		w |= uint32(in.Rd) << 20
+		w |= uint32(in.Imm) & (1<<immJBits - 1)
+	case ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA, MUL, MULH, DIV, REM:
+		w |= uint32(in.Rd) << 20
+		w |= uint32(in.Rs1) << 15
+		w |= uint32(in.Rs2) << 10
+	default:
+		if in.Imm < -(1<<(immIBits-1)) || in.Imm >= 1<<(immIBits-1) {
+			return 0, fmt.Errorf("isa: %v immediate %d out of 15-bit range", in.Op, in.Imm)
+		}
+		w |= uint32(in.Rd) << 20
+		w |= uint32(in.Rs1) << 15
+		// Immediate: 5 bits in the rs2 slot + 10 low bits.
+		imm := uint32(in.Imm) & (1<<immIBits - 1)
+		w |= (imm >> 10) << 10
+		w |= imm & 0x3ff
+		// Branches and stores carry rs2 in the rd slot.
+		switch in.Op.Class() {
+		case ClassBranch, ClassStore:
+			if in.Op != JALR {
+				w &^= 0x1f << 20
+				w |= uint32(in.Rs2) << 20
+			}
+		}
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word.
+func Decode(w uint32) Inst {
+	op := Op(w >> 25)
+	in := Inst{Op: op}
+	switch op {
+	case JAL, LUI:
+		in.Rd = uint8(w >> 20 & 0x1f)
+		imm := w & (1<<immJBits - 1)
+		in.Imm = int32(imm<<(32-immJBits)) >> (32 - immJBits)
+	case ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA, MUL, MULH, DIV, REM:
+		in.Rd = uint8(w >> 20 & 0x1f)
+		in.Rs1 = uint8(w >> 15 & 0x1f)
+		in.Rs2 = uint8(w >> 10 & 0x1f)
+	default:
+		in.Rs1 = uint8(w >> 15 & 0x1f)
+		imm := (w>>10&0x1f)<<10 | w&0x3ff
+		in.Imm = int32(imm<<(32-immIBits)) >> (32 - immIBits)
+		switch {
+		case op.Class() == ClassBranch && op != JALR, op.Class() == ClassStore:
+			in.Rs2 = uint8(w >> 20 & 0x1f)
+		default:
+			in.Rd = uint8(w >> 20 & 0x1f)
+		}
+	}
+	return in
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassBranch:
+		if in.Op == JAL {
+			return fmt.Sprintf("%v x%d, %d", in.Op, in.Rd, in.Imm)
+		}
+		if in.Op == JALR {
+			return fmt.Sprintf("%v x%d, %d(x%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%v x%d, x%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case ClassStore:
+		return fmt.Sprintf("%v x%d, %d(x%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassLoad:
+		return fmt.Sprintf("%v x%d, %d(x%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	}
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case LUI:
+		return fmt.Sprintf("lui x%d, %d", in.Rd, in.Imm)
+	case OUT:
+		return fmt.Sprintf("out x%d", in.Rs1)
+	case ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA, MUL, MULH, DIV, REM:
+		return fmt.Sprintf("%v x%d, x%d, x%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+	return fmt.Sprintf("%v x%d, x%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+}
+
+// Disassemble renders a program image back into assembler syntax, one
+// line per word (data words that do not decode to a known opcode render
+// as .word directives).
+func Disassemble(p *Program) []string {
+	lines := make([]string, 0, len(p.Words))
+	for _, w := range p.Words {
+		in := Decode(w)
+		if in.Op >= numOps {
+			lines = append(lines, fmt.Sprintf(".word %d", w))
+			continue
+		}
+		lines = append(lines, in.String())
+	}
+	return lines
+}

@@ -1,0 +1,370 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: SUB, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: -42},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: 16383},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: -16384},
+		{Op: LW, Rd: 7, Rs1: 2, Imm: 1024},
+		{Op: SW, Rs1: 2, Rs2: 9, Imm: -8},
+		{Op: BEQ, Rs1: 4, Rs2: 5, Imm: -256},
+		{Op: BGEU, Rs1: 4, Rs2: 5, Imm: 8188},
+		{Op: JAL, Rd: 1, Imm: -40000},
+		{Op: JALR, Rd: 1, Rs1: 9, Imm: 12},
+		{Op: LUI, Rd: 3, Imm: 0x7ffff},
+		{Op: MUL, Rd: 10, Rs1: 11, Rs2: 12},
+		{Op: OUT, Rs1: 10},
+		{Op: HALT},
+		{Op: NOP},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got := Decode(w)
+		if got != in {
+			t.Fatalf("round trip %v -> %#x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	if _, err := Encode(Inst{Op: ADDI, Imm: 1 << 14}); err == nil {
+		t.Fatal("expected I-immediate overflow")
+	}
+	if _, err := Encode(Inst{Op: JAL, Imm: 1 << 19}); err == nil {
+		t.Fatal("expected J-immediate overflow")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	prop := func(rd, rs1, rs2 uint8, imm int16) bool {
+		in := Inst{Op: BEQ, Rs1: rs1 & 31, Rs2: rs2 & 31, Imm: int32(imm) / 2}
+		w, err := Encode(in)
+		if err != nil {
+			return true
+		}
+		return Decode(w) == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleAndRunFibonacci(t *testing.T) {
+	src := `
+# fib(12) via iteration, result in a0, printed via OUT.
+start:
+    li a0, 0
+    li a1, 1
+    li t0, 12
+loop:
+    beq t0, zero, done
+    add t1, a0, a1
+    mv a0, a1
+    mv a1, t1
+    addi t0, t0, -1
+    j loop
+done:
+    out a0
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(64 << 10)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("machine did not halt")
+	}
+	if m.Regs[10] != 144 {
+		t.Fatalf("fib(12) = %d, want 144", m.Regs[10])
+	}
+	if len(m.Output) != 1 || m.Output[0] != 144 {
+		t.Fatalf("output = %v, want [144]", m.Output)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	src := `
+    li t0, 256
+    li t1, -2
+    sw t1, 0(t0)
+    lw t2, 0(t0)
+    lh t3, 0(t0)
+    lhu t4, 0(t0)
+    lb t5, 0(t0)
+    lbu t6, 0(t0)
+    sb t0, 8(t0)
+    lbu s0, 8(t0)
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(64 << 10)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	check := map[int]uint32{
+		7:  0xfffffffe, // lw
+		28: 0xfffffffe, // lh sign-extended
+		29: 0x0000fffe, // lhu
+		30: 0xfffffffe, // lb
+		31: 0x000000fe, // lbu
+		8:  0,          // sb stored low byte of 256 = 0
+	}
+	for r, want := range check {
+		if m.Regs[r] != want {
+			t.Errorf("x%d = %#x, want %#x", r, m.Regs[r], want)
+		}
+	}
+}
+
+func TestArithmeticAgainstGo(t *testing.T) {
+	src := `
+    mul s2, a0, a1
+    mulh s3, a0, a1
+    div s4, a0, a1
+    rem s5, a0, a1
+    sra s6, a0, a2
+    srl s7, a0, a2
+    sltu s8, a0, a1
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint32, sh uint8) bool {
+		if b == 0 {
+			return true
+		}
+		m := NewMachine(4 << 10)
+		if err := m.Load(p); err != nil {
+			return false
+		}
+		m.Regs[10], m.Regs[11], m.Regs[12] = a, b, uint32(sh&31)
+		if err := m.Run(100, nil); err != nil {
+			return false
+		}
+		mulh := uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+		return m.Regs[18] == a*b &&
+			m.Regs[19] == mulh &&
+			m.Regs[20] == uint32(int32(a)/int32(b)) &&
+			m.Regs[21] == uint32(int32(a)%int32(b)) &&
+			m.Regs[22] == uint32(int32(a)>>(sh&31)) &&
+			m.Regs[23] == a>>(sh&31) &&
+			m.Regs[24] == b2u(a < b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchTrace(t *testing.T) {
+	src := `
+    li t0, 2
+loop:
+    addi t0, t0, -1
+    bne t0, zero, loop
+    jal ra, sub
+    halt
+sub:
+    ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(4 << 10)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	var branches []Trace
+	if err := m.Run(100, func(tr Trace) {
+		if tr.Inst.Op.IsBranch() {
+			branches = append(branches, tr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// bne taken once, not-taken once, jal, jalr(ret).
+	if len(branches) != 4 {
+		t.Fatalf("branch count = %d, want 4", len(branches))
+	}
+	if !branches[0].Taken || branches[1].Taken {
+		t.Fatalf("bne pattern wrong: %v %v", branches[0].Taken, branches[1].Taken)
+	}
+	if !branches[2].Taken || branches[2].Inst.Op != JAL {
+		t.Fatal("jal should trace taken")
+	}
+	if branches[3].Inst.Op != JALR || branches[3].Target != branches[2].PC+4 {
+		t.Fatalf("ret target %#x, want %#x", branches[3].Target, branches[2].PC+4)
+	}
+}
+
+func TestX0Hardwired(t *testing.T) {
+	src := `
+    addi x0, x0, 5
+    addi t0, x0, 7
+    halt
+`
+	p, _ := Assemble(src)
+	m := NewMachine(4 << 10)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 0 {
+		t.Fatal("x0 must stay zero")
+	}
+	if m.Regs[5] != 7 {
+		t.Fatalf("t0 = %d, want 7", m.Regs[5])
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus x1, x2",
+		"addi q1, x0, 1",
+		"dup: nop\ndup: nop",
+		"lw x1, nope",
+		"addi x1, x0, 99999",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+    j code
+table:
+    .word 17
+    .word table
+    .space 8
+code:
+    li t0, 4
+    lw t1, table(zero)
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(4 << 10)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[6] != 17 {
+		t.Fatalf("t1 = %d, want 17", m.Regs[6])
+	}
+	if got := p.Labels["table"]; got != 4 {
+		t.Fatalf("table label = %d, want 4", got)
+	}
+}
+
+func TestEncodeDecodeAllOpsProperty(t *testing.T) {
+	// Every opcode round-trips through encode/decode for in-range
+	// operands.
+	prop := func(op8, rd, rs1, rs2 uint8, imm int16) bool {
+		op := Op(op8) % numOps
+		in := Inst{Op: op}
+		switch op {
+		case NOP, HALT:
+		case OUT:
+			in.Rs1 = rs1 & 31
+		case JAL, LUI:
+			in.Rd = rd & 31
+			in.Imm = int32(imm)
+		case ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA, MUL, MULH, DIV, REM:
+			in.Rd = rd & 31
+			in.Rs1 = rs1 & 31
+			in.Rs2 = rs2 & 31
+		case BEQ, BNE, BLT, BGE, BLTU, BGEU, SW, SH, SB:
+			in.Rs1 = rs1 & 31
+			in.Rs2 = rs2 & 31
+			in.Imm = int32(imm)
+		default: // I-type
+			in.Rd = rd & 31
+			in.Rs1 = rs1 & 31
+			in.Imm = int32(imm)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return true // out-of-range immediate is allowed to fail
+		}
+		return Decode(w) == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	src := `
+    li t0, 5
+    lw t1, 8(t0)
+    sw t1, 12(t0)
+    beq t0, t1, 8
+    jal ra, 16
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Disassemble(p)
+	want := []string{
+		"addi x5, x0, 5",
+		"lw x6, 8(x5)",
+		"sw x6, 12(x5)",
+		"beq x5, x6, 8",
+		"jal x1, 16",
+		"halt",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d: %v", len(lines), len(want), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d: %q, want %q", i, lines[i], want[i])
+		}
+	}
+	// Reassembling the disassembly must reproduce the image.
+	p2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Words {
+		if p.Words[i] != p2.Words[i] {
+			t.Fatalf("word %d differs after round trip", i)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Trace is one dynamic instruction record, the interface between the
+// functional interpreter and the timing model.
+type Trace struct {
+	PC      uint32
+	Inst    Inst
+	Taken   bool   // branches: direction
+	Target  uint32 // branches: resolved next PC
+	MemAddr uint32 // loads/stores: effective address
+}
+
+// Machine is the functional interpreter state.
+type Machine struct {
+	Regs [32]uint32
+	PC   uint32
+	Mem  []byte
+	// Output collects bytes written by OUT (workload validation).
+	Output []byte
+	// Halted is set when HALT retires.
+	Halted bool
+	// Instret counts retired instructions.
+	Instret uint64
+}
+
+// NewMachine returns a machine with memSize bytes of zeroed memory.
+func NewMachine(memSize int) *Machine {
+	return &Machine{Mem: make([]byte, memSize)}
+}
+
+// Load copies a program image into memory and points PC at its origin.
+func (m *Machine) Load(p *Program) error {
+	end := int(p.Origin) + 4*len(p.Words)
+	if end > len(m.Mem) {
+		return fmt.Errorf("isa: program of %d bytes exceeds memory", end)
+	}
+	for i, w := range p.Words {
+		binary.LittleEndian.PutUint32(m.Mem[int(p.Origin)+4*i:], w)
+	}
+	m.PC = p.Origin
+	return nil
+}
+
+func (m *Machine) read32(addr uint32) uint32 {
+	return binary.LittleEndian.Uint32(m.Mem[addr&^3:])
+}
+
+// WriteWord pokes a 32-bit word into memory (for workload data setup).
+func (m *Machine) WriteWord(addr, v uint32) {
+	binary.LittleEndian.PutUint32(m.Mem[addr:], v)
+}
+
+// ReadWord peeks a 32-bit word.
+func (m *Machine) ReadWord(addr uint32) uint32 { return m.read32(addr) }
+
+// Step executes one instruction and returns its trace record.
+func (m *Machine) Step() (Trace, error) {
+	if m.Halted {
+		return Trace{}, fmt.Errorf("isa: machine halted")
+	}
+	if int(m.PC)+4 > len(m.Mem) {
+		return Trace{}, fmt.Errorf("isa: PC %#x out of memory", m.PC)
+	}
+	in := Decode(m.read32(m.PC))
+	tr := Trace{PC: m.PC, Inst: in}
+	next := m.PC + 4
+	rs1 := m.Regs[in.Rs1]
+	rs2 := m.Regs[in.Rs2]
+	imm := uint32(in.Imm)
+	wr := func(v uint32) {
+		if in.Rd != 0 {
+			m.Regs[in.Rd] = v
+		}
+	}
+	switch in.Op {
+	case NOP:
+	case ADD:
+		wr(rs1 + rs2)
+	case SUB:
+		wr(rs1 - rs2)
+	case AND:
+		wr(rs1 & rs2)
+	case OR:
+		wr(rs1 | rs2)
+	case XOR:
+		wr(rs1 ^ rs2)
+	case SLT:
+		wr(b2u(int32(rs1) < int32(rs2)))
+	case SLTU:
+		wr(b2u(rs1 < rs2))
+	case SLL:
+		wr(rs1 << (rs2 & 31))
+	case SRL:
+		wr(rs1 >> (rs2 & 31))
+	case SRA:
+		wr(uint32(int32(rs1) >> (rs2 & 31)))
+	case MUL:
+		wr(rs1 * rs2)
+	case MULH:
+		wr(uint32(uint64(int64(int32(rs1))*int64(int32(rs2))) >> 32))
+	case DIV:
+		if rs2 == 0 {
+			wr(^uint32(0))
+		} else {
+			wr(uint32(int32(rs1) / int32(rs2)))
+		}
+	case REM:
+		if rs2 == 0 {
+			wr(rs1)
+		} else {
+			wr(uint32(int32(rs1) % int32(rs2)))
+		}
+	case ADDI:
+		wr(rs1 + imm)
+	case ANDI:
+		wr(rs1 & imm)
+	case ORI:
+		wr(rs1 | imm)
+	case XORI:
+		wr(rs1 ^ imm)
+	case SLTI:
+		wr(b2u(int32(rs1) < in.Imm))
+	case SLLI:
+		wr(rs1 << (imm & 31))
+	case SRLI:
+		wr(rs1 >> (imm & 31))
+	case SRAI:
+		wr(uint32(int32(rs1) >> (imm & 31)))
+	case LUI:
+		wr(uint32(in.Imm) << 12)
+	case LW, LH, LHU, LB, LBU:
+		addr := rs1 + imm
+		tr.MemAddr = addr
+		if int(addr)+4 > len(m.Mem) {
+			return tr, fmt.Errorf("isa: load %#x out of memory at pc %#x", addr, m.PC)
+		}
+		switch in.Op {
+		case LW:
+			wr(m.read32(addr))
+		case LH:
+			wr(uint32(int32(int16(binary.LittleEndian.Uint16(m.Mem[addr:])))))
+		case LHU:
+			wr(uint32(binary.LittleEndian.Uint16(m.Mem[addr:])))
+		case LB:
+			wr(uint32(int32(int8(m.Mem[addr]))))
+		case LBU:
+			wr(uint32(m.Mem[addr]))
+		}
+	case SW, SH, SB:
+		addr := rs1 + imm
+		tr.MemAddr = addr
+		if int(addr)+4 > len(m.Mem) {
+			return tr, fmt.Errorf("isa: store %#x out of memory at pc %#x", addr, m.PC)
+		}
+		switch in.Op {
+		case SW:
+			binary.LittleEndian.PutUint32(m.Mem[addr&^3:], rs2)
+		case SH:
+			binary.LittleEndian.PutUint16(m.Mem[addr&^1:], uint16(rs2))
+		case SB:
+			m.Mem[addr] = byte(rs2)
+		}
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		var taken bool
+		switch in.Op {
+		case BEQ:
+			taken = rs1 == rs2
+		case BNE:
+			taken = rs1 != rs2
+		case BLT:
+			taken = int32(rs1) < int32(rs2)
+		case BGE:
+			taken = int32(rs1) >= int32(rs2)
+		case BLTU:
+			taken = rs1 < rs2
+		case BGEU:
+			taken = rs1 >= rs2
+		}
+		tr.Taken = taken
+		if taken {
+			next = m.PC + imm
+		}
+		tr.Target = next
+	case JAL:
+		wr(m.PC + 4)
+		next = m.PC + imm
+		tr.Taken = true
+		tr.Target = next
+	case JALR:
+		t := (rs1 + imm) &^ 1
+		wr(m.PC + 4)
+		next = t
+		tr.Taken = true
+		tr.Target = next
+	case OUT:
+		m.Output = append(m.Output, byte(rs1))
+	case HALT:
+		m.Halted = true
+	default:
+		return tr, fmt.Errorf("isa: illegal opcode %v at pc %#x", in.Op, m.PC)
+	}
+	m.PC = next
+	m.Instret++
+	return tr, nil
+}
+
+// Run executes up to maxInstrs instructions (or until HALT), calling
+// visit for each retired instruction when non-nil.
+func (m *Machine) Run(maxInstrs uint64, visit func(Trace)) error {
+	for i := uint64(0); i < maxInstrs && !m.Halted; i++ {
+		tr, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if visit != nil {
+			visit(tr)
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSynopsys emits the library in Synopsys Liberty (.lib) syntax so
+// the characterized cells can be consumed by external EDA tools. Units:
+// time ns, capacitance pF, power uW, area um^2 (scaled from the SI
+// values held internally).
+func WriteSynopsys(w io.Writer, lib *Library) error {
+	bw := bufio.NewWriter(w)
+	name := strings.ReplaceAll(lib.Name, " ", "_")
+	fmt.Fprintf(bw, "library (%s) {\n", name)
+	fmt.Fprintf(bw, "  time_unit : \"1ns\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, pf);\n")
+	fmt.Fprintf(bw, "  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(bw, "  leakage_power_unit : \"1uW\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : %g;\n", lib.VDD)
+	writeLUTGroup := func(kind string, l *LUT) {
+		fmt.Fprintf(bw, "        %s (delay_template) {\n", kind)
+		fmt.Fprintf(bw, "          index_1 (\"%s\");\n", axisNS(l.Slews))
+		fmt.Fprintf(bw, "          index_2 (\"%s\");\n", axisPF(l.Loads))
+		fmt.Fprintf(bw, "          values ( \\\n")
+		for i, row := range l.Value {
+			sep := ", \\"
+			if i == len(l.Value)-1 {
+				sep = " \\"
+			}
+			fmt.Fprintf(bw, "            \"%s\"%s\n", axisNS(row), sep)
+		}
+		fmt.Fprintf(bw, "          );\n        }\n")
+	}
+	for _, cname := range lib.Names() {
+		c := lib.Cells[cname]
+		fmt.Fprintf(bw, "  cell (%s) {\n", c.Name)
+		fmt.Fprintf(bw, "    area : %g;\n", c.Area*1e12)
+		fmt.Fprintf(bw, "    cell_leakage_power : %g;\n", (c.LeakLow+c.LeakHigh)/2*1e6)
+		for _, in := range c.Inputs {
+			fmt.Fprintf(bw, "    pin (%s) {\n", in)
+			fmt.Fprintf(bw, "      direction : input;\n")
+			fmt.Fprintf(bw, "      capacitance : %g;\n", c.InputCap*1e12)
+			if c.Sequential && in == "CK" {
+				fmt.Fprintf(bw, "      clock : true;\n")
+			}
+			fmt.Fprintf(bw, "    }\n")
+		}
+		fmt.Fprintf(bw, "    pin (%s) {\n", c.Output)
+		fmt.Fprintf(bw, "      direction : output;\n")
+		if c.Function != "" && !c.Sequential {
+			fmt.Fprintf(bw, "      function : \"%s\";\n", toLibertyFunction(c.Function))
+		}
+		for _, in := range c.Inputs {
+			a := c.Arcs[in]
+			if a == nil {
+				continue
+			}
+			fmt.Fprintf(bw, "      timing () {\n")
+			fmt.Fprintf(bw, "        related_pin : \"%s\";\n", in)
+			writeLUTGroup("cell_rise", a.DelayRise)
+			writeLUTGroup("cell_fall", a.DelayFall)
+			writeLUTGroup("rise_transition", a.SlewRise)
+			writeLUTGroup("fall_transition", a.SlewFall)
+			fmt.Fprintf(bw, "      }\n")
+		}
+		if c.Sequential {
+			fmt.Fprintf(bw, "      timing () {\n")
+			fmt.Fprintf(bw, "        related_pin : \"CK\";\n")
+			fmt.Fprintf(bw, "        timing_type : rising_edge;\n")
+			fmt.Fprintf(bw, "        /* clk->q %g ns, setup %g ns, hold %g ns */\n",
+				c.ClkToQ*1e9, c.Setup*1e9, c.Hold*1e9)
+			fmt.Fprintf(bw, "      }\n")
+		}
+		fmt.Fprintf(bw, "    }\n  }\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func axisNS(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%g", x*1e9)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func axisPF(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%g", x*1e12)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// toLibertyFunction converts the internal function notation ("!(A*B)")
+// to Liberty's ("!(A B)" for AND, "+" for OR stays).
+func toLibertyFunction(f string) string {
+	return strings.ReplaceAll(f, "*", " ")
+}

@@ -1,0 +1,223 @@
+// Package liberty holds the characterized standard-cell library data
+// model: non-linear delay model (NLDM) look-up tables indexed by input
+// slew and output load, per-arc timing, per-cell area and input
+// capacitance, and sequential timing for flip-flops. It plays the role
+// of the Liberty (.lib) files produced by SiliconSmart in the paper's
+// flow (Section 4.4).
+package liberty
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LUT is a 2-D table of a timing quantity over (input slew, output load).
+// Values outside the characterized grid are clamped to the edge and then
+// extrapolated linearly along the boundary gradient, matching common STA
+// practice.
+type LUT struct {
+	Slews []float64   // ascending, seconds
+	Loads []float64   // ascending, farads
+	Value [][]float64 // Value[i][j] for Slews[i] x Loads[j]
+}
+
+// locate returns the lower bracketing index and interpolation fraction
+// for x in axis, extrapolating beyond the ends.
+func locate(axis []float64, x float64) (int, float64) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0
+	}
+	i := sort.SearchFloat64s(axis, x)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	lo, hi := axis[i-1], axis[i]
+	if hi == lo {
+		return i - 1, 0
+	}
+	return i - 1, (x - lo) / (hi - lo)
+}
+
+// At returns the bilinearly interpolated (and linearly extrapolated)
+// table value at the given slew and load.
+func (l *LUT) At(slew, load float64) float64 {
+	if len(l.Value) == 0 {
+		return 0
+	}
+	i, fs := locate(l.Slews, slew)
+	j, fl := locate(l.Loads, load)
+	ni, nj := i+1, j+1
+	if ni >= len(l.Slews) {
+		ni = i
+	}
+	if nj >= len(l.Loads) {
+		nj = j
+	}
+	v00 := l.Value[i][j]
+	v01 := l.Value[i][nj]
+	v10 := l.Value[ni][j]
+	v11 := l.Value[ni][nj]
+	return v00*(1-fs)*(1-fl) + v01*(1-fs)*fl + v10*fs*(1-fl) + v11*fs*fl
+}
+
+// Max returns the largest table entry.
+func (l *LUT) Max() float64 {
+	m := 0.0
+	for _, row := range l.Value {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Arc is the timing from one input pin to the cell output, for both
+// output transition directions.
+type Arc struct {
+	From      string
+	DelayRise *LUT // input transition causing output rise
+	DelayFall *LUT
+	SlewRise  *LUT // resulting output slew
+	SlewFall  *LUT
+}
+
+// WorstDelay returns the larger of rise/fall delay at the operating point.
+func (a *Arc) WorstDelay(slew, load float64) float64 {
+	r := a.DelayRise.At(slew, load)
+	f := a.DelayFall.At(slew, load)
+	if r > f {
+		return r
+	}
+	return f
+}
+
+// WorstSlew returns the larger of rise/fall output slew.
+func (a *Arc) WorstSlew(slew, load float64) float64 {
+	r := a.SlewRise.At(slew, load)
+	f := a.SlewFall.At(slew, load)
+	if r > f {
+		return r
+	}
+	return f
+}
+
+// Cell is one characterized standard cell.
+type Cell struct {
+	Name        string
+	Inputs      []string
+	Output      string
+	Function    string  // human-readable, e.g. "!(A*B)"
+	Area        float64 // m^2
+	InputCap    float64 // F, per input pin
+	Transistors int
+	Arcs        map[string]*Arc // keyed by input pin
+
+	// Sequential timing (flip-flops only).
+	Sequential bool
+	ClkToQ     float64 // s
+	Setup      float64 // s
+	Hold       float64 // s
+
+	// Static power at the two input states, W (combinational cells;
+	// informational, used by the energy reports).
+	LeakLow, LeakHigh float64
+	// SwitchEnergy is the measured dynamic energy per output transition
+	// at a nominal operating point, J (combinational cells).
+	SwitchEnergy float64
+}
+
+// WorstArc returns the arc with the largest delay at the given operating
+// point, for computing a cell's characteristic delay.
+func (c *Cell) WorstArc(slew, load float64) *Arc {
+	var worst *Arc
+	wd := -1.0
+	for _, a := range c.Arcs {
+		if d := a.WorstDelay(slew, load); d > wd {
+			wd, worst = d, a
+		}
+	}
+	return worst
+}
+
+// Library is a characterized cell library for one technology.
+type Library struct {
+	Name  string
+	VDD   float64
+	VSS   float64 // auxiliary negative rail (organic pseudo-E), 0 if unused
+	Cells map[string]*Cell
+}
+
+// Cell returns the named cell or nil.
+func (l *Library) Cell(name string) *Cell {
+	return l.Cells[name]
+}
+
+// MustCell returns the named cell or panics; library construction is
+// static so a missing cell is a programming error.
+func (l *Library) MustCell(name string) *Cell {
+	c := l.Cells[name]
+	if c == nil {
+		panic(fmt.Sprintf("liberty: library %s has no cell %s", l.Name, name))
+	}
+	return c
+}
+
+// Names returns the sorted cell names.
+func (l *Library) Names() []string {
+	names := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FO4 returns the fanout-of-4 inverter delay of the library: the INV
+// cell's worst arc delay driving four inverter input loads with a
+// nominal input slew equal to its own worst slew at that load.
+func (l *Library) FO4() float64 {
+	inv := l.Cells["INV"]
+	if inv == nil {
+		return 0
+	}
+	load := 4 * inv.InputCap
+	arc := inv.WorstArc(0, load)
+	if arc == nil {
+		return 0
+	}
+	// One self-consistency pass on the input slew.
+	slew := arc.WorstSlew(0, load)
+	return arc.WorstDelay(slew, load)
+}
+
+// Summary renders a one-line-per-cell overview table.
+func (l *Library) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library %s (VDD=%.2gV", l.Name, l.VDD)
+	if l.VSS != 0 {
+		fmt.Fprintf(&b, ", VSS=%.2gV", l.VSS)
+	}
+	fmt.Fprintf(&b, ")\n")
+	for _, name := range l.Names() {
+		c := l.Cells[name]
+		if c.Sequential {
+			fmt.Fprintf(&b, "  %-6s area=%.3g um^2 cin=%.3g fF clk-q=%.3g s setup=%.3g s\n",
+				name, c.Area*1e12, c.InputCap*1e15, c.ClkToQ, c.Setup)
+			continue
+		}
+		var d float64
+		if a := c.WorstArc(0, 2*c.InputCap); a != nil {
+			d = a.WorstDelay(0, 2*c.InputCap)
+		}
+		fmt.Fprintf(&b, "  %-6s area=%.3g um^2 cin=%.3g fF delay(fo2)=%.3g s  %s\n",
+			name, c.Area*1e12, c.InputCap*1e15, d, c.Function)
+	}
+	return b.String()
+}

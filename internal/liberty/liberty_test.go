@@ -1,0 +1,159 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testLUT() *LUT {
+	return &LUT{
+		Slews: []float64{1, 2, 3},
+		Loads: []float64{10, 20},
+		Value: [][]float64{
+			{1, 2},
+			{2, 4},
+			{3, 6},
+		},
+	}
+}
+
+func TestLUTExactPoints(t *testing.T) {
+	l := testLUT()
+	for i, s := range l.Slews {
+		for j, ld := range l.Loads {
+			if got := l.At(s, ld); math.Abs(got-l.Value[i][j]) > 1e-12 {
+				t.Errorf("At(%g,%g) = %g, want %g", s, ld, got, l.Value[i][j])
+			}
+		}
+	}
+}
+
+func TestLUTBilinear(t *testing.T) {
+	l := testLUT()
+	// Midpoint of the four corners (1,10)=1,(1,20)=2,(2,10)=2,(2,20)=4.
+	if got := l.At(1.5, 15); math.Abs(got-2.25) > 1e-12 {
+		t.Fatalf("midpoint = %g, want 2.25", got)
+	}
+}
+
+func TestLUTExtrapolation(t *testing.T) {
+	l := testLUT()
+	// Beyond the last slew row the boundary gradient continues: value
+	// grows by 1 per slew unit at load 10.
+	if got := l.At(4, 10); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("extrapolated = %g, want 4", got)
+	}
+	// Below the first point.
+	if got := l.At(0, 10); math.Abs(got-0) > 1e-12 {
+		t.Fatalf("extrapolated = %g, want 0", got)
+	}
+}
+
+func TestLUTDegenerate(t *testing.T) {
+	l := &LUT{Slews: []float64{1}, Loads: []float64{5}, Value: [][]float64{{7}}}
+	if got := l.At(99, -4); got != 7 {
+		t.Fatalf("single-point LUT = %g, want 7", got)
+	}
+	empty := &LUT{}
+	if got := empty.At(1, 1); got != 0 {
+		t.Fatalf("empty LUT = %g, want 0", got)
+	}
+}
+
+func TestLUTMonotoneInterpolation(t *testing.T) {
+	// If all table values increase with slew and load, interpolation
+	// inside the grid must preserve that monotonicity.
+	l := testLUT()
+	prop := func(a, b uint8) bool {
+		s := 1 + 2*float64(a)/255
+		ld := 10 + 10*float64(b)/255
+		v := l.At(s, ld)
+		return v >= l.At(1, 10)-1e-12 && v <= l.At(3, 20)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUTMax(t *testing.T) {
+	if got := testLUT().Max(); got != 6 {
+		t.Fatalf("Max = %g, want 6", got)
+	}
+}
+
+func makeArc(scale float64) *Arc {
+	mk := func(f float64) *LUT {
+		return &LUT{
+			Slews: []float64{0, 1},
+			Loads: []float64{0, 1},
+			Value: [][]float64{{f, 2 * f}, {2 * f, 3 * f}},
+		}
+	}
+	return &Arc{From: "A", DelayRise: mk(scale), DelayFall: mk(2 * scale), SlewRise: mk(scale / 2), SlewFall: mk(scale)}
+}
+
+func TestArcWorst(t *testing.T) {
+	a := makeArc(1)
+	if got := a.WorstDelay(0, 0); got != 2 {
+		t.Fatalf("worst delay = %g, want 2 (fall)", got)
+	}
+	if got := a.WorstSlew(0, 0); got != 1 {
+		t.Fatalf("worst slew = %g, want 1", got)
+	}
+}
+
+func TestCellWorstArc(t *testing.T) {
+	c := &Cell{
+		Name:   "NAND2",
+		Inputs: []string{"A", "B"},
+		Arcs:   map[string]*Arc{"A": makeArc(1), "B": makeArc(3)},
+	}
+	w := c.WorstArc(0, 0)
+	if w == nil || w != c.Arcs["B"] {
+		t.Fatal("worst arc should be B")
+	}
+}
+
+func TestLibraryLookup(t *testing.T) {
+	lib := &Library{Name: "t", Cells: map[string]*Cell{"INV": {Name: "INV"}}}
+	if lib.Cell("INV") == nil {
+		t.Fatal("missing INV")
+	}
+	if lib.Cell("XOR") != nil {
+		t.Fatal("unexpected XOR")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCell should panic for missing cells")
+		}
+	}()
+	lib.MustCell("XOR")
+}
+
+func TestLibraryNamesSorted(t *testing.T) {
+	lib := &Library{Cells: map[string]*Cell{"NOR2": {}, "INV": {}, "NAND2": {}}}
+	names := lib.Names()
+	want := []string{"INV", "NAND2", "NOR2"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFO4SelfConsistent(t *testing.T) {
+	inv := &Cell{
+		Name:     "INV",
+		Inputs:   []string{"A"},
+		InputCap: 1e-15,
+		Arcs:     map[string]*Arc{"A": makeArc(1e-12)},
+	}
+	lib := &Library{Cells: map[string]*Cell{"INV": inv}}
+	if fo4 := lib.FO4(); fo4 <= 0 {
+		t.Fatalf("FO4 = %g, want > 0", fo4)
+	}
+	if (&Library{Cells: map[string]*Cell{}}).FO4() != 0 {
+		t.Fatal("FO4 without INV should be 0")
+	}
+}

@@ -1,0 +1,178 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleLibrary() *Library {
+	mk := func(base float64) *LUT {
+		return &LUT{
+			Slews: []float64{1e-12, 2e-12, 5e-12},
+			Loads: []float64{1e-15, 2e-15},
+			Value: [][]float64{{base, base * 2}, {base * 1.5, base * 3}, {base * 2, base * 4}},
+		}
+	}
+	arc := func(pin string, base float64) *Arc {
+		return &Arc{
+			From:      pin,
+			DelayRise: mk(base), DelayFall: mk(base * 1.1),
+			SlewRise: mk(base / 2), SlewFall: mk(base / 3),
+		}
+	}
+	return &Library{
+		Name: "sample",
+		VDD:  1.1,
+		VSS:  -2.5,
+		Cells: map[string]*Cell{
+			"INV": {
+				Name: "INV", Inputs: []string{"A"}, Output: "Y", Function: "!A",
+				Area: 1e-12, InputCap: 1e-15, Transistors: 2,
+				LeakLow: 1e-9, LeakHigh: 2e-9, SwitchEnergy: 3.5e-15,
+				Arcs: map[string]*Arc{"A": arc("A", 10e-12)},
+			},
+			"NAND2": {
+				Name: "NAND2", Inputs: []string{"A", "B"}, Output: "Y", Function: "!(A*B)",
+				Area: 2e-12, InputCap: 1.5e-15, Transistors: 4,
+				Arcs: map[string]*Arc{"A": arc("A", 12e-12), "B": arc("B", 14e-12)},
+			},
+			"DFF": {
+				Name: "DFF", Inputs: []string{"D", "CK"}, Output: "Q", Function: "DFF(D,CK)",
+				Area: 8e-12, InputCap: 2e-15, Transistors: 24,
+				Sequential: true, ClkToQ: 30e-12, Setup: 20e-12, Hold: 1e-12,
+				Arcs: map[string]*Arc{},
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != lib.Name || got.VDD != lib.VDD || got.VSS != lib.VSS {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Names(), lib.Names()) {
+		t.Fatalf("cells: %v vs %v", got.Names(), lib.Names())
+	}
+	for name, want := range lib.Cells {
+		g := got.Cells[name]
+		if g.Function != want.Function || g.Area != want.Area || g.InputCap != want.InputCap ||
+			g.Transistors != want.Transistors || g.Sequential != want.Sequential ||
+			g.ClkToQ != want.ClkToQ || g.Setup != want.Setup || g.Hold != want.Hold ||
+			g.LeakLow != want.LeakLow || g.LeakHigh != want.LeakHigh ||
+			g.SwitchEnergy != want.SwitchEnergy {
+			t.Fatalf("%s scalar mismatch:\n got %+v\nwant %+v", name, g, want)
+		}
+		if !reflect.DeepEqual(g.Inputs, want.Inputs) {
+			t.Fatalf("%s inputs %v vs %v", name, g.Inputs, want.Inputs)
+		}
+		for pin, wa := range want.Arcs {
+			ga := g.Arcs[pin]
+			if ga == nil {
+				t.Fatalf("%s missing arc %s", name, pin)
+			}
+			for i, pair := range [][2]*LUT{
+				{ga.DelayRise, wa.DelayRise}, {ga.DelayFall, wa.DelayFall},
+				{ga.SlewRise, wa.SlewRise}, {ga.SlewFall, wa.SlewFall},
+			} {
+				if !reflect.DeepEqual(pair[0], pair[1]) {
+					t.Fatalf("%s/%s lut %d mismatch", name, pin, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripPreservesInterpolation(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lib.Cells["NAND2"].Arcs["B"].DelayRise
+	b := got.Cells["NAND2"].Arcs["B"].DelayRise
+	for _, s := range []float64{0, 1.5e-12, 9e-12} {
+		for _, l := range []float64{0.5e-15, 1.7e-15, 4e-15} {
+			if math.Abs(a.At(s, l)-b.At(s, l)) > 1e-30 {
+				t.Fatalf("interp diverges at (%g,%g)", s, l)
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"libertyv 999\nlibrary x vdd 1 vss 0\nend",
+		"libertyv 4\nnope",
+		"libertyv 4\nlibrary x vdd 1 vss 0\ncell bad\nend",
+		"libertyv 4\nlibrary x vdd 1 vss 0\ncell C inputs A output Y area 1 cap 1 transistors 2 function !A\nleak 0 0\narc A\nlut WRONG 1 1\n1\n1\n1\nendcell\nend",
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	for _, frac := range []float64{0.2, 0.5, 0.9} {
+		cut := full[:int(float64(len(full))*frac)]
+		if _, err := Read(strings.NewReader(cut)); err == nil {
+			t.Errorf("truncated at %.0f%%: expected error", frac*100)
+		}
+	}
+}
+
+func TestWriteSynopsysSyntax(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := WriteSynopsys(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library (sample) {",
+		"cell (INV) {",
+		"cell (NAND2) {",
+		"cell (DFF) {",
+		`function : "!(A B)"`,
+		"related_pin : \"A\";",
+		"index_1 (",
+		"capacitive_load_unit (1, pf);",
+		"clock : true;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in export", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in liberty export")
+	}
+	// Units: the 10 ps delay appears as 0.01 ns.
+	if !strings.Contains(out, "0.01") {
+		t.Error("delay not scaled to ns")
+	}
+}

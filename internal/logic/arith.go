@@ -1,0 +1,390 @@
+package logic
+
+// fullAdder returns (sum, carry) built from 2 XORs and a carry majority
+// (9 NAND-equivalent cells), the standard cell-library decomposition.
+func (n *Netlist) fullAdder(a, b, cin Sig) (sum, cout Sig) {
+	axb := n.Xor(a, b)
+	sum = n.Xor(axb, cin)
+	// cout = a&b | cin&(a^b) as NANDs.
+	t1 := n.Nand(a, b)
+	t2 := n.Nand(axb, cin)
+	cout = n.Nand(t1, t2)
+	return sum, cout
+}
+
+// RippleCarryAdder adds two equal-width buses with carry-in, returning
+// the sum and carry-out. Depth is linear in width.
+func (n *Netlist) RippleCarryAdder(a, b []Sig, cin Sig) (sum []Sig, cout Sig) {
+	if len(a) != len(b) {
+		panic("logic: adder width mismatch")
+	}
+	sum = make([]Sig, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = n.fullAdder(a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// CLAAdder is a carry-lookahead adder with 4-bit groups (group
+// generate/propagate, ripple between groups), the classic DesignWare-ish
+// speed/area compromise. Depth is ~width/4 + constant.
+func (n *Netlist) CLAAdder(a, b []Sig, cin Sig) (sum []Sig, cout Sig) {
+	if len(a) != len(b) {
+		panic("logic: adder width mismatch")
+	}
+	w := len(a)
+	sum = make([]Sig, w)
+	c := cin
+	for g := 0; g < w; g += 4 {
+		hi := g + 4
+		if hi > w {
+			hi = w
+		}
+		// Bit generate/propagate.
+		var gen, prop []Sig
+		for i := g; i < hi; i++ {
+			gen = append(gen, n.And(a[i], b[i]))
+			prop = append(prop, n.Xor(a[i], b[i]))
+		}
+		// Carries within the group from the group carry-in.
+		carries := make([]Sig, len(gen)+1)
+		carries[0] = c
+		for i := range gen {
+			// c[i+1] = g[i] | p[i]&c[i]
+			carries[i+1] = n.Nand(n.Not(gen[i]), n.Nand(prop[i], carries[i]))
+		}
+		for i := g; i < hi; i++ {
+			sum[i] = n.Xor(prop[i-g], carries[i-g])
+		}
+		// Group lookahead carry: G* = g3 | p3g2 | p3p2g1 | p3p2p1g0;
+		// P* = p3p2p1p0; c_next = G* | P*cin.
+		gg := gen[len(gen)-1]
+		for i := len(gen) - 2; i >= 0; i-- {
+			pp := n.ReduceAnd(prop[i+1:])
+			gg = n.Or(gg, n.And(pp, gen[i]))
+		}
+		pAll := n.ReduceAnd(prop)
+		c = n.Or(gg, n.And(pAll, c))
+	}
+	return sum, c
+}
+
+// KoggeStoneAdder is a log-depth parallel-prefix adder: bitwise
+// generate/propagate, a Kogge-Stone prefix tree, then sum formation.
+// It trades substantially more area (and, in silicon, wire) for the
+// lowest logic depth — the ablation counterpart to the 4-bit-group CLA.
+func (n *Netlist) KoggeStoneAdder(a, b []Sig, cin Sig) (sum []Sig, cout Sig) {
+	if len(a) != len(b) {
+		panic("logic: adder width mismatch")
+	}
+	w := len(a)
+	gen := make([]Sig, w)
+	prop := make([]Sig, w)
+	for i := 0; i < w; i++ {
+		gen[i] = n.And(a[i], b[i])
+		prop[i] = n.Xor(a[i], b[i])
+	}
+	// Prefix tree over (g, p) with the carry operator:
+	// (g, p) o (g', p') = (g + p*g', p*p').
+	g := append([]Sig(nil), gen...)
+	p := append([]Sig(nil), prop...)
+	for shift := 1; shift < w; shift *= 2 {
+		ng := append([]Sig(nil), g...)
+		np := append([]Sig(nil), p...)
+		for i := shift; i < w; i++ {
+			ng[i] = n.Or(g[i], n.And(p[i], g[i-shift]))
+			np[i] = n.And(p[i], p[i-shift])
+		}
+		g, p = ng, np
+	}
+	// Carry into bit i: c[i] = g[0..i-1] + P[0..i-1]*cin.
+	sum = make([]Sig, w)
+	carry := cin
+	for i := 0; i < w; i++ {
+		sum[i] = n.Xor(prop[i], carry)
+		carry = n.Or(g[i], n.And(p[i], cin))
+	}
+	return sum, carry
+}
+
+// Subtractor computes a - b (two's complement) returning difference and
+// "no-borrow" (carry-out, 1 when a >= b for unsigned operands).
+func (n *Netlist) Subtractor(a, b []Sig) (diff []Sig, noBorrow Sig) {
+	nb := make([]Sig, len(b))
+	for i := range b {
+		nb[i] = n.Not(b[i])
+	}
+	return n.CLAAdder(a, nb, n.Const(true))
+}
+
+// ArrayMultiplier multiplies two w-bit buses into a 2w-bit product using
+// a partial-product array with ripple reduction rows, the structure the
+// paper pipelines in its complex-ALU experiment.
+func (n *Netlist) ArrayMultiplier(a, b []Sig) []Sig {
+	w := len(a)
+	if len(b) != w {
+		panic("logic: multiplier width mismatch")
+	}
+	prod := make([]Sig, 2*w)
+	zero := n.Const(false)
+	for i := range prod {
+		prod[i] = zero
+	}
+	// Row accumulator: after row i, acc holds bits [i..i+w-1] of the
+	// running sum and carry holds bit i+w.
+	acc := make([]Sig, w)
+	for j := range acc {
+		acc[j] = n.And(a[j], b[0])
+	}
+	carry := zero
+	prod[0] = acc[0]
+	for i := 1; i < w; i++ {
+		pp := make([]Sig, w)
+		for j := range pp {
+			pp[j] = n.And(a[j], b[i])
+		}
+		// Shift the accumulator down one bit, bringing the previous
+		// row's carry in at the top, then add this row's partial product.
+		shifted := make([]Sig, w)
+		copy(shifted, acc[1:])
+		shifted[w-1] = carry
+		acc, carry = n.RippleCarryAdder(shifted, pp, zero)
+		prod[i] = acc[0]
+	}
+	copy(prod[w:], acc[1:])
+	prod[2*w-1] = carry
+	return prod
+}
+
+// CSAMultiplier multiplies two w-bit buses into a 2w-bit product with a
+// carry-save (Wallace-style) 3:2 reduction tree and a final
+// carry-lookahead adder — the DesignWare-class structure whose log depth
+// makes deep pipelining meaningful (Figure 12).
+func (n *Netlist) CSAMultiplier(a, b []Sig) []Sig {
+	w := len(a)
+	if len(b) != w {
+		panic("logic: multiplier width mismatch")
+	}
+	zero := n.Const(false)
+	rows := make([][]Sig, w)
+	for i := range rows {
+		row := make([]Sig, 2*w)
+		for j := range row {
+			row[j] = zero
+		}
+		for j := 0; j < w; j++ {
+			row[i+j] = n.And(a[j], b[i])
+		}
+		rows[i] = row
+	}
+	for len(rows) > 2 {
+		var next [][]Sig
+		i := 0
+		for ; i+3 <= len(rows); i += 3 {
+			sum := make([]Sig, 2*w)
+			carry := make([]Sig, 2*w)
+			carry[0] = zero
+			for j := 0; j < 2*w; j++ {
+				s, c := n.fullAdder(rows[i][j], rows[i+1][j], rows[i+2][j])
+				sum[j] = s
+				if j+1 < 2*w {
+					carry[j+1] = c
+				}
+			}
+			next = append(next, sum, carry)
+		}
+		next = append(next, rows[i:]...)
+		rows = next
+	}
+	res, _ := n.CLAAdder(rows[0], rows[1], zero)
+	return res
+}
+
+// DividerStep is one restoring-division iteration datapath (the
+// combinational core of a stallable iterative divider): subtract the
+// divisor from the partial remainder and keep the difference when it is
+// non-negative. The quotient bit is the no-borrow flag.
+func (n *Netlist) DividerStep(rem, b []Sig) (remNext []Sig, qbit Sig) {
+	diff, ge := n.Subtractor(rem, b)
+	return n.MuxBus(ge, rem, diff), ge
+}
+
+// RestoringDivider divides a by b (unsigned, w bits) with a combinational
+// restoring array: w rows of subtract-and-select. Quotient and remainder
+// are returned; division by zero yields all-ones quotient.
+func (n *Netlist) RestoringDivider(a, b []Sig) (quot, rem []Sig) {
+	w := len(a)
+	if len(b) != w {
+		panic("logic: divider width mismatch")
+	}
+	zero := n.Const(false)
+	// Partial remainder, w bits.
+	r := make([]Sig, w)
+	for i := range r {
+		r[i] = zero
+	}
+	quot = make([]Sig, w)
+	for step := w - 1; step >= 0; step-- {
+		// Shift remainder left, bring in bit a[step].
+		r = append([]Sig{a[step]}, r[:w-1]...)
+		diff, ge := n.Subtractor(r, b)
+		quot[step] = ge
+		r = n.MuxBus(ge, r, diff)
+	}
+	return quot, r
+}
+
+// BarrelShifter shifts a by the amount encoded in sh (logarithmic mux
+// stages). If right is false it shifts left; arith selects sign-extension
+// on right shifts.
+func (n *Netlist) BarrelShifter(a []Sig, sh []Sig, right, arith bool) []Sig {
+	w := len(a)
+	cur := append([]Sig(nil), a...)
+	var fill Sig
+	if arith {
+		fill = a[w-1]
+	} else {
+		fill = n.Const(false)
+	}
+	for s, bit := range sh {
+		amt := 1 << uint(s)
+		if amt >= w {
+			// Shifting by >= w: everything becomes fill when bit set.
+			for i := range cur {
+				cur[i] = n.Mux(bit, cur[i], fill)
+			}
+			continue
+		}
+		shifted := make([]Sig, w)
+		for i := 0; i < w; i++ {
+			var src Sig
+			if right {
+				if i+amt < w {
+					src = cur[i+amt]
+				} else {
+					src = fill
+				}
+			} else {
+				if i-amt >= 0 {
+					src = cur[i-amt]
+				} else {
+					src = fill
+				}
+			}
+			shifted[i] = n.Mux(bit, cur[i], src)
+		}
+		cur = shifted
+	}
+	return cur
+}
+
+// Equal returns 1 when the buses match (XNOR + AND tree).
+func (n *Netlist) Equal(a, b []Sig) Sig {
+	if len(a) != len(b) {
+		panic("logic: Equal width mismatch")
+	}
+	eqs := make([]Sig, len(a))
+	for i := range a {
+		eqs[i] = n.Xnor(a[i], b[i])
+	}
+	return n.ReduceAnd(eqs)
+}
+
+// LessThan returns 1 when a < b (unsigned), via the subtractor borrow.
+func (n *Netlist) LessThan(a, b []Sig) Sig {
+	_, noBorrow := n.Subtractor(a, b)
+	return n.Not(noBorrow)
+}
+
+// BuildAdder returns a standalone w-bit CLA adder netlist.
+func BuildAdder(w int) *Netlist {
+	n := New("adder")
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	sum, cout := n.CLAAdder(a, b, n.Const(false))
+	n.OutputBus("sum", sum)
+	n.Output("cout", cout)
+	return n
+}
+
+// BuildMultiplier returns a standalone w-bit array multiplier netlist.
+func BuildMultiplier(w int) *Netlist {
+	n := New("multiplier")
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	n.OutputBus("p", n.ArrayMultiplier(a, b))
+	return n
+}
+
+// BuildDivider returns a standalone w-bit restoring divider netlist.
+func BuildDivider(w int) *Netlist {
+	n := New("divider")
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	q, r := n.RestoringDivider(a, b)
+	n.OutputBus("q", q)
+	n.OutputBus("r", r)
+	return n
+}
+
+// BuildComplexALU returns the paper's complex-ALU netlist: a w-bit
+// carry-save-tree multiplier plus the per-iteration datapath of a
+// stallable restoring divider, with an opcode-muxed result — the block
+// pipelined in the Figure 12 experiment. (DesignWare's stallable
+// divider iterates; only its per-cycle datapath is combinational.)
+func BuildComplexALU(w int) *Netlist {
+	n := New("complex-alu")
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	rem := n.InputBus("rem", w)
+	isDiv := n.Input("is_div")
+	p := n.CSAMultiplier(a, b)
+	remNext, qbit := n.DividerStep(rem, b)
+	out := n.MuxBus(isDiv, p[:w], remNext)
+	n.OutputBus("y", out)
+	n.OutputBus("phi", p[w:])
+	n.Output("qbit", qbit)
+	return n
+}
+
+// BuildSimpleALU returns a w-bit single-cycle ALU: CLA add/sub, logic
+// ops, barrel shifts, and comparisons behind an opcode mux (3 op bits).
+func BuildSimpleALU(w int) *Netlist {
+	n := New("simple-alu")
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	op := n.InputBus("op", 3)
+	sub := op[0]
+	bx := make([]Sig, w)
+	for i := range b {
+		bx[i] = n.Xor(b[i], sub)
+	}
+	sum, _ := n.CLAAdder(a, bx, sub)
+	andv := make([]Sig, w)
+	orv := make([]Sig, w)
+	xorv := make([]Sig, w)
+	for i := range a {
+		andv[i] = n.And(a[i], b[i])
+		orv[i] = n.Or(a[i], b[i])
+		xorv[i] = n.Xor(a[i], b[i])
+	}
+	shl := n.BarrelShifter(a, b[:Log2Ceil(w)+1], false, false)
+	shr := n.BarrelShifter(a, b[:Log2Ceil(w)+1], true, false)
+	lt := n.LessThan(a, b)
+	ltBus := make([]Sig, w)
+	zero := n.Const(false)
+	ltBus[0] = lt
+	for i := 1; i < w; i++ {
+		ltBus[i] = zero
+	}
+	// Function select on op[2:1], sub-select on op[0]:
+	//   000 add, 001 sub, 010 and, 011 or, 100 shl, 101 shr,
+	//   110 xor, 111 slt.
+	logicA := n.MuxBus(op[0], andv, orv)
+	shift := n.MuxBus(op[0], shl, shr)
+	logicB := n.MuxBus(op[0], xorv, ltBus)
+	out := n.MuxTree(op[1:3], [][]Sig{sum, logicA, shift, logicB})
+	n.OutputBus("y", out)
+	return n
+}

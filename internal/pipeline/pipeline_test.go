@@ -1,0 +1,204 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/liberty"
+	"repro/internal/sta"
+)
+
+func TestPartitionMinMax(t *testing.T) {
+	cases := []struct {
+		profile []float64
+		k       int
+		want    float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1, 4},
+		{[]float64{1, 1, 1, 1}, 2, 2},
+		{[]float64{1, 1, 1, 1}, 4, 1},
+		{[]float64{1, 1, 1, 1}, 8, 1}, // can't cut below one gate
+		{[]float64{5, 1, 1, 1}, 2, 5}, // big gate dominates
+		{[]float64{2, 3, 4, 5}, 2, 9}, // {2,3,4}|{5} -> 9 vs {2,3}|{4,5} -> 9
+		{nil, 3, 0},
+		{[]float64{1}, 0, 0},
+	}
+	for _, c := range cases {
+		got := PartitionMinMax(c.profile, c.k)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("PartitionMinMax(%v, %d) = %g, want %g", c.profile, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPartitionMonotoneProperty(t *testing.T) {
+	// More stages never increases the max chunk; result is always
+	// between total/k and total, and at least the largest element.
+	prop := func(seed uint32, k8 uint8) bool {
+		n := 3 + int(seed%40)
+		profile := make([]float64, n)
+		var total, maxOne float64
+		for i := range profile {
+			profile[i] = 0.5 + float64((seed+uint32(i)*2654435761)%1000)/250
+			total += profile[i]
+			if profile[i] > maxOne {
+				maxOne = profile[i]
+			}
+		}
+		k := 1 + int(k8%12)
+		cur := PartitionMinMax(profile, k)
+		next := PartitionMinMax(profile, k+1)
+		if next > cur+1e-9 {
+			return false
+		}
+		return cur >= maxOne-1e-9 && cur >= total/float64(k)-1e-9 && cur <= total+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fakeDFF() *liberty.Cell {
+	return &liberty.Cell{
+		Name: "DFF", Sequential: true,
+		ClkToQ: 30e-12, Setup: 20e-12, Area: 8e-12,
+	}
+}
+
+func fakeResult(levels int, per float64, area float64) *sta.Result {
+	profile := make([]float64, levels)
+	var sum float64
+	for i := range profile {
+		profile[i] = per
+		sum += per
+	}
+	return &sta.Result{CritPath: sum, Profile: profile, CombArea: area}
+}
+
+func TestSweepDepthNoWire(t *testing.T) {
+	res := fakeResult(100, 10e-12, 1e-8)
+	pts := SweepDepth(res, fakeDFF(), Config{RankBits: 64}, 20)
+	if len(pts) != 20 {
+		t.Fatalf("want 20 points, got %d", len(pts))
+	}
+	// Without wire, frequency must be non-decreasing with depth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Freq < pts[i-1].Freq-1e-9 {
+			t.Fatalf("freq decreased at n=%d without wire", pts[i].Stages)
+		}
+		if pts[i].Area <= pts[i-1].Area {
+			t.Fatalf("area must grow with register ranks at n=%d", pts[i].Stages)
+		}
+	}
+	// n=1 period = 1ns + 50ps.
+	if want := 1.05e-9; math.Abs(pts[0].Period-want) > 1e-15 {
+		t.Fatalf("period(1) = %g, want %g", pts[0].Period, want)
+	}
+}
+
+func TestSweepDepthWirePeak(t *testing.T) {
+	res := fakeResult(100, 10e-12, 1e-8)
+	w := sta.Wire{ResPerM: 1.5e6, CapPerM: 2e-10, Pitch: 1e-6}
+	pts := SweepDepth(res, fakeDFF(), Config{RankBits: 64, Wire: w, UseWire: true, FeedbackK: 4}, 30)
+	opt := OptimalDepth(pts)
+	if opt.Stages <= 2 || opt.Stages >= 30 {
+		t.Fatalf("wire cost should produce an interior optimum, got %d", opt.Stages)
+	}
+	// Past the optimum, frequency declines.
+	if pts[29].Freq >= opt.Freq {
+		t.Fatal("frequency should decline past the wire-limited optimum")
+	}
+	// A slower-wire technology pushes the optimum deeper.
+	slow := sta.Wire{ResPerM: 25e3, CapPerM: 1.5e-10, Pitch: 1e-3}
+	pts2 := SweepDepth(fakeResult(100, 1e-3, 0.05), fakeDFF(), Config{RankBits: 64, Wire: slow, UseWire: true, FeedbackK: 4}, 30)
+	opt2 := OptimalDepth(pts2)
+	if opt2.Stages <= opt.Stages {
+		t.Fatalf("relatively-fast wires should allow deeper pipelines: %d vs %d", opt2.Stages, opt.Stages)
+	}
+}
+
+func TestCutCritical(t *testing.T) {
+	a := &StagedBlock{Name: "a", Result: fakeResult(10, 10e-12, 0), Cuts: 1}
+	b := &StagedBlock{Name: "b", Result: fakeResult(30, 10e-12, 0), Cuts: 1}
+	blocks := []*StagedBlock{a, b}
+	// First two cuts should go to b (300ps vs 100ps, then 150ps vs 100ps).
+	if got := CutCritical(blocks); got != b {
+		t.Fatalf("first cut went to %s", got.Name)
+	}
+	if got := CutCritical(blocks); got != b {
+		t.Fatalf("second cut went to %s", got.Name)
+	}
+	// Now b is at 100ps per stage == a; next cut goes to whichever the
+	// tie-break picks, but after enough cuts both get cut.
+	CutCritical(blocks)
+	CutCritical(blocks)
+	if a.Cuts == 1 && b.Cuts <= 3 {
+		t.Fatalf("cuts not distributed: a=%d b=%d", a.Cuts, b.Cuts)
+	}
+}
+
+func TestCoreTiming(t *testing.T) {
+	blocks := []*StagedBlock{
+		{Name: "fetch", Result: fakeResult(10, 10e-12, 1e-9), Cuts: 1, RankBits: 64},
+		{Name: "exec", Result: fakeResult(20, 10e-12, 2e-9), Cuts: 1, RankBits: 64},
+	}
+	dff := fakeDFF()
+	period, pt := CoreTiming(blocks, dff, Config{})
+	if pt.Stages != 2 {
+		t.Fatalf("depth = %d, want 2", pt.Stages)
+	}
+	if want := 200e-12 + 50e-12; math.Abs(period-want) > 1e-15 {
+		t.Fatalf("period = %g, want %g", period, want)
+	}
+	// Cutting the exec stage improves the clock.
+	blocks[1].Cuts = 2
+	p2, pt2 := CoreTiming(blocks, dff, Config{})
+	if p2 >= period {
+		t.Fatalf("cutting critical stage should shorten period: %g vs %g", p2, period)
+	}
+	if pt2.Stages != 3 {
+		t.Fatalf("depth = %d, want 3", pt2.Stages)
+	}
+	if pt2.Area <= pt.Area {
+		t.Fatal("extra rank should add area")
+	}
+}
+
+func TestOptimalDepth(t *testing.T) {
+	pts := []Point{{Stages: 1, Freq: 1}, {Stages: 2, Freq: 3}, {Stages: 3, Freq: 2}}
+	if got := OptimalDepth(pts); got.Stages != 2 {
+		t.Fatalf("optimal = %d, want 2", got.Stages)
+	}
+}
+
+func TestSweepDepthAgainstCoreTiming(t *testing.T) {
+	// A single-block "core" must agree with SweepDepth on logic delay.
+	res := fakeResult(60, 5e-12, 1e-9)
+	dff := fakeDFF()
+	pts := SweepDepth(res, dff, Config{RankBits: 10}, 6)
+	for n := 1; n <= 6; n++ {
+		blocks := []*StagedBlock{{Name: "b", Result: res, Cuts: n, RankBits: 10}}
+		period, pt := CoreTiming(blocks, dff, Config{})
+		if math.Abs(pt.StageLogic-pts[n-1].StageLogic) > 1e-18 {
+			t.Fatalf("n=%d: stage logic %g vs %g", n, pt.StageLogic, pts[n-1].StageLogic)
+		}
+		if math.Abs(period-pts[n-1].Period) > 1e-18 {
+			t.Fatalf("n=%d: period %g vs %g", n, period, pts[n-1].Period)
+		}
+		if math.Abs(pt.Area-pts[n-1].Area) > 1e-24 {
+			t.Fatalf("n=%d: area %g vs %g", n, pt.Area, pts[n-1].Area)
+		}
+	}
+}
+
+func TestWireOverheadGrowsWithDepth(t *testing.T) {
+	res := fakeResult(100, 10e-12, 1e-8)
+	w := sta.Wire{ResPerM: 1.5e6, CapPerM: 2e-10}
+	pts := SweepDepth(res, fakeDFF(), Config{RankBits: 64, Wire: w, UseWire: true}, 16)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].WireOver <= pts[i-1].WireOver {
+			t.Fatalf("feedback wire cost must grow with depth at n=%d", pts[i].Stages)
+		}
+	}
+}

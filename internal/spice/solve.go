@@ -1,0 +1,59 @@
+// Package spice implements a small transistor-level circuit simulator:
+// modified nodal analysis with damped Newton-Raphson DC solution, DC
+// sweeps with continuation, and fixed-step trapezoidal transient
+// analysis. It exists to characterize the organic and silicon standard
+// cells of the reproduction, playing the role HSPICE plays in the paper's
+// flow.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// errSingular is returned when the MNA matrix cannot be factored.
+var errSingular = errors.New("spice: singular matrix")
+
+// solveDense solves A*x = b in place using Gaussian elimination with
+// partial pivoting. A and b are overwritten. The returned slice aliases b.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pivAbs := col, math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > pivAbs {
+				piv, pivAbs = r, v
+			}
+		}
+		if pivAbs < 1e-30 {
+			return nil, fmt.Errorf("%w: pivot %d", errSingular, col)
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * b[c]
+		}
+		b[r] = sum / a[r][r]
+	}
+	return b, nil
+}

@@ -1,0 +1,105 @@
+package spice
+
+import "fmt"
+
+// Tran holds recorded waveforms from a transient analysis.
+type Tran struct {
+	Times []float64
+	nodes map[Node][]float64
+	srcI  map[string][]float64
+}
+
+// V returns the recorded waveform of node n (nil if not recorded).
+func (t *Tran) V(n Node) []float64 { return t.nodes[n] }
+
+// SourceCurrent returns the branch-current waveform of the named voltage
+// source (nil if unknown). Positive current flows from the + terminal
+// through the source, so a supply delivering power shows negative values.
+func (t *Tran) SourceCurrent(name string) []float64 { return t.srcI[name] }
+
+// SupplyEnergy integrates the total energy delivered by the named
+// sources (trapezoidal) over [t0, t1]; with no names it uses all
+// recorded sources.
+func (t *Tran) SupplyEnergy(volts map[string]float64, t0, t1 float64) float64 {
+	var e float64
+	for name, wave := range t.srcI {
+		v, ok := volts[name]
+		if !ok {
+			continue
+		}
+		for i := 1; i < len(t.Times); i++ {
+			if t.Times[i] < t0 || t.Times[i-1] > t1 {
+				continue
+			}
+			dt := t.Times[i] - t.Times[i-1]
+			p := -v * (wave[i] + wave[i-1]) / 2
+			e += p * dt
+		}
+	}
+	return e
+}
+
+// Transient simulates from t = 0 to tstop with a fixed step dt using the
+// trapezoidal method, recording the given nodes. The initial condition is
+// the DC operating point at t = 0.
+func (c *Circuit) Transient(tstop, dt float64, record ...Node) (*Tran, error) {
+	if dt <= 0 || tstop <= dt {
+		return nil, fmt.Errorf("spice: bad transient window tstop=%g dt=%g", tstop, dt)
+	}
+	x, err := c.solveDC(0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("spice: transient initial condition: %w", err)
+	}
+	volt := func(x []float64, nd Node) float64 {
+		if nd == Ground {
+			return 0
+		}
+		return x[index(nd)]
+	}
+	// Initialize capacitor companion state from the DC solution.
+	for _, cp := range c.caps {
+		cp.vPrev = volt(x, cp.a) - volt(x, cp.b)
+		cp.iPrev = 0
+	}
+	steps := int(tstop/dt) + 1
+	tr := &Tran{
+		Times: make([]float64, 0, steps),
+		nodes: make(map[Node][]float64, len(record)),
+		srcI:  make(map[string][]float64, len(c.vsrc)),
+	}
+	for _, n := range record {
+		tr.nodes[n] = make([]float64, 0, steps)
+	}
+	c.unknowns() // assign branch indices before sampling currents
+	snapshot := func(t float64, x []float64) {
+		tr.Times = append(tr.Times, t)
+		for _, n := range record {
+			tr.nodes[n] = append(tr.nodes[n], volt(x, n))
+		}
+		for _, v := range c.vsrc {
+			tr.srcI[v.name] = append(tr.srcI[v.name], x[v.branch])
+		}
+	}
+	snapshot(0, x)
+	opt := assembleOpts{srcScale: 1, transient: true, dt: dt}
+	for t := dt; t <= tstop+dt/2; t += dt {
+		opt.t = t
+		nx, err := c.newton(x, opt)
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient t=%g: %w", t, err)
+		}
+		// Update companion state: i = geq*(v_new) - (geq*vPrev + iPrev).
+		for _, cp := range c.caps {
+			if cp.c <= 0 {
+				continue
+			}
+			geq := 2 * cp.c / dt
+			v := volt(nx, cp.a) - volt(nx, cp.b)
+			i := geq*v - (geq*cp.vPrev + cp.iPrev)
+			cp.vPrev, cp.iPrev = v, i
+		}
+		x = nx
+		snapshot(t, x)
+	}
+	return tr, nil
+}

@@ -1,0 +1,218 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/logic"
+	"repro/internal/synth"
+)
+
+// fakeLib builds a deterministic library: every cell has delay
+// d0 + k*load (no slew dependence), output slew 1ps, INV input cap 1 fF.
+func fakeLib() *liberty.Library {
+	mkLUT := func(d0, k float64) *liberty.LUT {
+		loads := []float64{0, 1e-15, 2e-15, 4e-15, 8e-15}
+		slews := []float64{0, 1e-12, 5e-12}
+		v := make([][]float64, len(slews))
+		for i := range v {
+			v[i] = make([]float64, len(loads))
+			for j, l := range loads {
+				v[i][j] = d0 + k*l
+			}
+		}
+		return &liberty.LUT{Slews: slews, Loads: loads, Value: v}
+	}
+	slewLUT := func() *liberty.LUT {
+		l := mkLUT(1e-12, 0)
+		return l
+	}
+	cell := func(name string, inputs []string, d0 float64, cin, area float64) *liberty.Cell {
+		c := &liberty.Cell{
+			Name: name, Inputs: inputs, Output: "Y",
+			InputCap: cin, Area: area,
+			Arcs: map[string]*liberty.Arc{},
+		}
+		for _, in := range inputs {
+			c.Arcs[in] = &liberty.Arc{
+				From:      in,
+				DelayRise: mkLUT(d0, 1e3), DelayFall: mkLUT(d0, 1e3),
+				SlewRise: slewLUT(), SlewFall: slewLUT(),
+			}
+		}
+		return c
+	}
+	return &liberty.Library{
+		Name: "fake",
+		VDD:  1,
+		Cells: map[string]*liberty.Cell{
+			"INV":   cell("INV", []string{"A"}, 10e-12, 1e-15, 1e-12),
+			"NAND2": cell("NAND2", []string{"A", "B"}, 15e-12, 1.5e-15, 2e-12),
+			"NAND3": cell("NAND3", []string{"A", "B", "C"}, 20e-12, 2e-15, 3e-12),
+			"NOR2":  cell("NOR2", []string{"A", "B"}, 16e-12, 1.5e-15, 2e-12),
+			"NOR3":  cell("NOR3", []string{"A", "B", "C"}, 22e-12, 2e-15, 3e-12),
+			"DFF": {
+				Name: "DFF", Inputs: []string{"D", "CK"}, Output: "Q",
+				InputCap: 2e-15, Area: 8e-12, Sequential: true,
+				ClkToQ: 30e-12, Setup: 20e-12,
+				Arcs: map[string]*liberty.Arc{},
+			},
+		},
+	}
+}
+
+func invChain(n int) *logic.Netlist {
+	nl := logic.New("chain")
+	s := nl.Input("in")
+	for i := 0; i < n; i++ {
+		s = nl.Not(s)
+	}
+	nl.Output("out", s)
+	return nl
+}
+
+func TestInvChainTiming(t *testing.T) {
+	lib := fakeLib()
+	nl := invChain(10)
+	res, err := AnalyzeNetlist(nl, lib, Wire{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior inverters drive one INV (1 fF): delay = 10ps + 1e3*1e-15 =
+	// 11ps. The last inverter drives the default output load 2 fF: 12ps.
+	want := 9*11e-12 + 12e-12
+	if math.Abs(res.CritPath-want) > 1e-15 {
+		t.Fatalf("crit = %g, want %g", res.CritPath, want)
+	}
+	if res.Levels != 10 {
+		t.Fatalf("levels = %d, want 10", res.Levels)
+	}
+	if math.Abs(res.ProfileSum()-res.CritPath) > 1e-18 {
+		t.Fatalf("profile sum %g != crit %g", res.ProfileSum(), res.CritPath)
+	}
+	if want := res.CritPath + 50e-12; math.Abs(res.MinPeriod-want) > 1e-18 {
+		t.Fatalf("min period = %g, want %g", res.MinPeriod, want)
+	}
+}
+
+func TestWireIncreasesDelay(t *testing.T) {
+	lib := fakeLib()
+	nl := invChain(20)
+	w := Wire{ResPerM: 1e6, CapPerM: 2e-10, Pitch: 1e-6}
+	dry, err := AnalyzeNetlist(nl, lib, w, Options{UseWire: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wet, err := AnalyzeNetlist(nl, lib, w, Options{UseWire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wet.CritPath <= dry.CritPath {
+		t.Fatalf("wire should slow the path: %g vs %g", wet.CritPath, dry.CritPath)
+	}
+	if math.Abs(wet.ProfileSum()-wet.CritPath) > 1e-15*wet.CritPath {
+		t.Fatalf("wet profile sum %g != crit %g", wet.ProfileSum(), wet.CritPath)
+	}
+}
+
+func TestHighFanoutBuffering(t *testing.T) {
+	lib := fakeLib()
+	nl := logic.New("fanout")
+	in := nl.Input("in")
+	root := nl.Not(in)
+	for i := 0; i < 64; i++ {
+		nl.Output("", nl.Not(root))
+	}
+	d, err := synth.Map(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootIdx := 1 // gate order: input, root, leaves...
+	if d.BufLevels[rootIdx] != 1 || d.BufCount[rootIdx] != 8 {
+		t.Fatalf("buffering = levels %d count %d, want 1/8", d.BufLevels[rootIdx], d.BufCount[rootIdx])
+	}
+	// Area includes 64 leaves + root + 8 buffers = 73 INVs.
+	if want := 73e-12; math.Abs(d.CombArea-want) > 1e-18 {
+		t.Fatalf("area = %g, want %g", d.CombArea, want)
+	}
+	res, err := Analyze(d, Wire{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path: root (sees 8 buffer caps + its own buffer level) + leaf.
+	if res.Levels != 2 {
+		t.Fatalf("levels = %d, want 2", res.Levels)
+	}
+	unbuffered := invChain(2)
+	base, err := AnalyzeNetlist(unbuffered, lib, Wire{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CritPath <= base.CritPath {
+		t.Fatal("buffered fanout tree should cost more than a plain 2-chain")
+	}
+}
+
+func TestConstantsHaveNoNet(t *testing.T) {
+	lib := fakeLib()
+	nl := logic.New("const")
+	in := nl.Input("in")
+	zero := nl.Const(false)
+	// A wide AND against constant zero: the constant's fanout is large
+	// but must not contribute wire delay.
+	var outs []logic.Sig
+	for i := 0; i < 100; i++ {
+		outs = append(outs, nl.Nand(in, zero))
+	}
+	nl.Output("out", nl.ReduceAnd(outs))
+	w := Wire{ResPerM: 1e6, CapPerM: 2e-10, Pitch: 1e-6}
+	res, err := AnalyzeNetlist(nl, lib, w, Options{UseWire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 100-fanout constant treated as a real net the flight would
+	// dwarf gate delays; sanity-bound the path instead.
+	if res.CritPath > 100*25e-12 {
+		t.Fatalf("constant net leaked into timing: crit = %g", res.CritPath)
+	}
+}
+
+func TestSlewClamp(t *testing.T) {
+	lib := fakeLib()
+	nl := invChain(5)
+	res, err := AnalyzeNetlist(nl, lib, Wire{}, Options{MaxSlew: 0.5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CritPath <= 0 {
+		t.Fatal("clamped analysis must still produce timing")
+	}
+}
+
+func TestNetLengthAndFlight(t *testing.T) {
+	w := Wire{ResPerM: 1e6, CapPerM: 2e-10, Pitch: 2e-6}
+	l1 := w.NetLength(1, 1e-3)
+	l4 := w.NetLength(4, 1e-3)
+	if l4 <= l1 {
+		t.Fatal("net length must grow with fanout")
+	}
+	if w.NetLength(1, 2e-3) <= l1 {
+		t.Fatal("net length must grow with block size")
+	}
+	// Flight grows quadratically with length (fixed load share).
+	f1 := w.Flight(1e-3, 0)
+	f2 := w.Flight(2e-3, 0)
+	if math.Abs(f2/f1-4) > 1e-9 {
+		t.Fatalf("flight scaling = %g, want 4x", f2/f1)
+	}
+}
+
+func TestMissingOutputs(t *testing.T) {
+	lib := fakeLib()
+	nl := logic.New("empty")
+	nl.Input("in")
+	if _, err := AnalyzeNetlist(nl, lib, Wire{}, Options{}); err == nil {
+		t.Fatal("expected error for netlist without outputs")
+	}
+}

@@ -1,0 +1,95 @@
+// Package synth maps technology-independent gate netlists onto a
+// characterized 6-cell liberty library, accounting for cell area and
+// load-isolation buffering of high-fanout nets. It models the Design
+// Compiler step of the paper's flow at the level the experiments
+// consume: a cell-annotated netlist ready for static timing analysis.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/liberty"
+	"repro/internal/logic"
+)
+
+// MaxFanout is the load-isolation threshold: nets with more sinks are
+// driven through a buffer tree (modeled, not restructured).
+const MaxFanout = 8
+
+// Design is a mapped netlist.
+type Design struct {
+	Netlist *logic.Netlist
+	Lib     *liberty.Library
+	// Cell[i] is the library cell implementing gate i (nil for inputs
+	// and constants).
+	Cell []*liberty.Cell
+	// BufLevels[i] is the depth of the buffer tree inserted after gate
+	// i's output to isolate its fanout (0 = direct).
+	BufLevels []int
+	// BufCount[i] is the number of buffers in that tree.
+	BufCount []int
+
+	CombArea float64 // total combinational cell area incl. buffers
+	NumCells int     // mapped cells incl. buffers
+}
+
+// Map binds each gate to its library cell and computes the buffering
+// overlay and area.
+func Map(nl *logic.Netlist, lib *liberty.Library) (*Design, error) {
+	d := &Design{
+		Netlist:   nl,
+		Lib:       lib,
+		Cell:      make([]*liberty.Cell, len(nl.Gates)),
+		BufLevels: make([]int, len(nl.Gates)),
+		BufCount:  make([]int, len(nl.Gates)),
+	}
+	inv := lib.Cell("INV")
+	if inv == nil {
+		return nil, fmt.Errorf("synth: library %s lacks INV", lib.Name)
+	}
+	fanouts := nl.Fanouts()
+	for i, g := range nl.Gates {
+		switch g.Kind {
+		case logic.Const0, logic.Const1:
+			// Constants are local tie cells replicated at their sinks:
+			// no net, no buffering, negligible area.
+			continue
+		case logic.Input:
+			// Register/port outputs still need load isolation.
+		default:
+			name := g.Kind.CellName()
+			cell := lib.Cell(name)
+			if cell == nil {
+				return nil, fmt.Errorf("synth: library %s lacks %s", lib.Name, name)
+			}
+			d.Cell[i] = cell
+			d.CombArea += cell.Area
+			d.NumCells++
+		}
+		if fo := len(fanouts[i]); fo > MaxFanout {
+			levels, count := bufferTree(fo)
+			d.BufLevels[i] = levels
+			d.BufCount[i] = count
+			d.CombArea += float64(count) * inv.Area
+			d.NumCells += count
+		}
+	}
+	return d, nil
+}
+
+// bufferTree returns the depth and buffer count of a MaxFanout-ary
+// buffer tree distributing one signal to fo sinks.
+func bufferTree(fo int) (levels, count int) {
+	for fo > MaxFanout {
+		groups := (fo + MaxFanout - 1) / MaxFanout
+		count += groups
+		fo = groups
+		levels++
+	}
+	return levels, count
+}
+
+// BlockDim returns the linear dimension of the placed block (meters),
+// assuming a square layout of the combinational area.
+func (d *Design) BlockDim() float64 { return math.Sqrt(d.CombArea) }

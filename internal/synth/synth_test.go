@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/logic"
+)
+
+func lib() *liberty.Library {
+	cell := func(name string, area float64) *liberty.Cell {
+		return &liberty.Cell{Name: name, Area: area, InputCap: 1e-15}
+	}
+	return &liberty.Library{
+		Name: "t",
+		Cells: map[string]*liberty.Cell{
+			"INV":   cell("INV", 1e-12),
+			"NAND2": cell("NAND2", 2e-12),
+			"NAND3": cell("NAND3", 3e-12),
+			"NOR2":  cell("NOR2", 2e-12),
+			"NOR3":  cell("NOR3", 3e-12),
+		},
+	}
+}
+
+func TestMapCountsAndArea(t *testing.T) {
+	nl := logic.New("m")
+	a := nl.Input("a")
+	b := nl.Input("b")
+	x := nl.Nand(a, b)     // NAND2: 2e-12
+	y := nl.Not(x)         // INV:   1e-12
+	z := nl.Nor3g(a, b, y) // NOR3:  3e-12
+	nl.Output("z", z)
+	d, err := Map(nl, lib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCells != 3 {
+		t.Fatalf("cells = %d, want 3", d.NumCells)
+	}
+	if math.Abs(d.CombArea-6e-12) > 1e-18 {
+		t.Fatalf("area = %g, want 6e-12", d.CombArea)
+	}
+	if d.BlockDim() <= 0 {
+		t.Fatal("block dim must be positive")
+	}
+}
+
+func TestMapRejectsMissingCell(t *testing.T) {
+	nl := logic.New("m")
+	nl.Output("y", nl.Not(nl.Input("a")))
+	l := lib()
+	delete(l.Cells, "INV")
+	if _, err := Map(nl, l); err == nil {
+		t.Fatal("expected error for missing INV")
+	}
+}
+
+func TestBufferTreeSizing(t *testing.T) {
+	cases := []struct {
+		fo, levels, count int
+	}{
+		{1, 0, 0}, {8, 0, 0}, {9, 1, 2}, {64, 1, 8}, {65, 2, 9 + 2}, {512, 2, 64 + 8},
+	}
+	for _, c := range cases {
+		l, n := bufferTree(c.fo)
+		if l != c.levels || n != c.count {
+			t.Errorf("bufferTree(%d) = (%d,%d), want (%d,%d)", c.fo, l, n, c.levels, c.count)
+		}
+	}
+}
+
+func TestConstantsExcluded(t *testing.T) {
+	nl := logic.New("c")
+	a := nl.Input("a")
+	zero := nl.Const(false)
+	for i := 0; i < 100; i++ {
+		nl.Output("", nl.Nand(a, zero))
+	}
+	d, err := Map(nl, lib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant's 100-sink net must not get a buffer tree; the input
+	// net must.
+	if d.BufLevels[1] != 0 { // gate 1 = const
+		t.Error("constant net should not be buffered")
+	}
+	if d.BufLevels[0] == 0 { // gate 0 = input a
+		t.Error("high-fanout input should be buffered")
+	}
+	if d.NumCells != 100+d.BufCount[0] {
+		t.Fatalf("cells = %d, want %d", d.NumCells, 100+d.BufCount[0])
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import "repro/internal/isa"
+
+// Gap is the gap stand-in: computational group theory is dominated by
+// exact (modular) arithmetic, so the kernel interleaves modular
+// exponentiation (multiply/divide heavy — exercising the complex ALU
+// pipes) with small-table permutation lookups.
+func Gap() *Workload { return gapW }
+
+const (
+	gapMod   = 12289
+	gapESize = 16
+	gapIters = 4000
+)
+
+var gapW = &Workload{
+	Name:     "gap",
+	Desc:     "gap stand-in: modular exponentiation + permutation table (mul/div heavy)",
+	Scale:    gapIters,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s0=iters s1=permtab s2=acc s3=i s4=mod
+    lw s0, 0xF00(zero)
+    li s1, 0x1000
+    li s2, 0
+    li s3, 0
+    li s4, 12289
+outer:
+    bge s3, s0, done
+    slli t0, s3, 1
+    addi t0, t0, 3
+    rem t0, t0, s4        # base 1
+    addi s8, t0, 2
+    rem s8, s8, s4        # base 2 (independent chain)
+    li t1, 1              # res 1
+    li s9, 1              # res 2
+    li t2, 16
+inner:
+    beq t2, zero, idone
+    mul t1, t1, t0
+    rem t1, t1, s4
+    mul s9, s9, s8
+    rem s9, s9, s4
+    addi t2, t2, -1
+    j inner
+idone:
+    add s2, s2, t1
+    add s2, s2, s9
+    andi t3, s2, 255
+    add t3, t3, s1
+    lbu t4, 0(t3)
+    xor s2, s2, t4
+    addi s3, s3, 1
+    j outer
+done:
+    sw s2, 0xF10(zero)
+    halt
+`,
+	Init: func(m *isa.Machine) {
+		rng := xorshift32(0x6a9)
+		for i := 0; i < 256; i++ {
+			m.Mem[RegionA+i] = byte(rng.next())
+		}
+	},
+	Reference: func() uint32 {
+		rng := xorshift32(0x6a9)
+		perm := make([]byte, 256)
+		for i := range perm {
+			perm[i] = byte(rng.next())
+		}
+		var acc uint32
+		for i := uint32(0); i < gapIters; i++ {
+			base := (2*i + 3) % gapMod
+			base2 := (base + 2) % gapMod
+			res, res2 := uint32(1), uint32(1)
+			for e := 0; e < gapESize; e++ {
+				res = res * base % gapMod
+				res2 = res2 * base2 % gapMod
+			}
+			acc += res
+			acc += res2
+			acc ^= uint32(perm[acc&255])
+		}
+		return acc
+	},
+}
+
+const dhryIters = 2500
+
+// Dhrystone is the synthetic integer mix of the paper's non-SPEC
+// benchmark: record copies, string comparison, arithmetic, and
+// procedure calls with well-predicted loop branches.
+func Dhrystone() *Workload { return dhrystoneW }
+
+var dhrystoneW = &Workload{
+	Name:     "dhrystone",
+	Desc:     "Dhrystone-like synthetic: record copy, strcmp, arithmetic, calls",
+	Scale:    dhryIters,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s1=src record s2=dst record s3=str1 s4=str2 s5=acc s6=i
+    lw s0, 0xF00(zero)
+    li s1, 0x1000
+    li s2, 0x1100
+    li s3, 0x1200
+    li s4, 0x1210
+    li s5, 0
+    li s6, 0
+loop:
+    bge s6, s0, done
+    jal ra, copyrec
+    jal ra, strcmp16
+    add s5, s5, a0
+    slli t0, s6, 1
+    add t1, t0, s6
+    xor s5, s5, t1
+    andi t2, s6, 15
+    add t3, s4, t2
+    lbu t4, 0(t3)
+    addi t4, t4, 1
+    andi t4, t4, 127
+    sb t4, 0(t3)
+    lw t5, 28(s1)
+    addi t5, t5, 7
+    sw t5, 28(s1)
+    addi s6, s6, 1
+    j loop
+done:
+    sw s5, 0xF10(zero)
+    halt
+copyrec:
+    li t0, 0
+cr1:
+    slli t1, t0, 2
+    add t2, t1, s1
+    lw t3, 0(t2)
+    add t2, t1, s2
+    sw t3, 0(t2)
+    addi t0, t0, 1
+    li t1, 8
+    blt t0, t1, cr1
+    add s5, s5, t3
+    ret
+strcmp16:
+    li a0, 0
+    li t0, 0
+sc1:
+    add t1, s3, t0
+    lbu t2, 0(t1)
+    add t1, s4, t0
+    lbu t3, 0(t1)
+    bne t2, t3, sc2
+    addi a0, a0, 1
+sc2:
+    addi t0, t0, 1
+    li t1, 16
+    blt t0, t1, sc1
+    ret
+`,
+	Init: func(m *isa.Machine) {
+		rng := xorshift32(0xd547)
+		for i := 0; i < 8; i++ {
+			m.WriteWord(uint32(RegionA+4*i), rng.next())
+		}
+		for i := 0; i < 16; i++ {
+			c := 97 + byte(rng.next()%26)
+			m.Mem[RegionA+0x200+i] = c
+			m.Mem[RegionA+0x210+i] = c
+		}
+	},
+	Reference: func() uint32 {
+		rng := xorshift32(0xd547)
+		src := make([]uint32, 8)
+		for i := range src {
+			src[i] = rng.next()
+		}
+		str1 := make([]byte, 16)
+		str2 := make([]byte, 16)
+		for i := range str1 {
+			c := 97 + byte(rng.next()%26)
+			str1[i], str2[i] = c, c
+		}
+		var acc uint32
+		for i := uint32(0); i < dhryIters; i++ {
+			// copyrec: acc += src[7] (after copy).
+			acc += src[7]
+			// strcmp16.
+			eq := uint32(0)
+			for k := 0; k < 16; k++ {
+				if str1[k] == str2[k] {
+					eq++
+				}
+			}
+			acc += eq
+			acc ^= 3 * i
+			str2[i&15] = (str2[i&15] + 1) & 127
+			src[7] += 7
+		}
+		return acc
+	},
+}

@@ -1,0 +1,337 @@
+package workload
+
+import "repro/internal/isa"
+
+// Mcf is the mcf stand-in: the network-simplex solver is dominated by
+// pointer chasing over arcs/nodes with data-dependent updates — serial
+// dependent loads (low ILP) and poorly-predictable branches.
+func Mcf() *Workload { return mcfW }
+
+const (
+	mcfNodes  = 4096
+	mcfStride = 16
+	mcfSteps  = 60000
+)
+
+var mcfW = &Workload{
+	Name:     "mcf",
+	Desc:     "mcf stand-in: randomized linked-ring pointer chase with data-dependent updates",
+	Scale:    mcfSteps,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s0=steps s2=acc s3=i t0=cur
+    lw s0, 0xF00(zero)
+    lui t0, 16            # node base 0x10000
+    li s2, 0
+    li s3, 0
+loop:
+    bge s3, s0, done
+    lw t1, 4(t0)          # val
+    add s2, s2, t1
+    andi t2, t1, 3
+    bne t2, zero, skip
+    xor s2, s2, t0
+skip:
+    lw t0, 0(t0)          # cur = cur->next
+    addi s3, s3, 1
+    j loop
+done:
+    sw s2, 0xF10(zero)
+    halt
+`,
+	Init: func(m *isa.Machine) {
+		order, vals := mcfLayout()
+		for k := 0; k < mcfNodes; k++ {
+			node := uint32(RegionD + mcfStride*order[k])
+			next := uint32(RegionD + mcfStride*order[(k+1)%mcfNodes])
+			m.WriteWord(node, next)
+			m.WriteWord(node+4, vals[order[k]])
+		}
+	},
+	Reference: func() uint32 {
+		order, vals := mcfLayout()
+		next := make(map[uint32]uint32, mcfNodes)
+		val := make(map[uint32]uint32, mcfNodes)
+		for k := 0; k < mcfNodes; k++ {
+			node := uint32(RegionD + mcfStride*order[k])
+			next[node] = uint32(RegionD + mcfStride*order[(k+1)%mcfNodes])
+			val[node] = vals[order[k]]
+		}
+		var acc uint32
+		cur := uint32(RegionD)
+		for i := uint32(0); i < mcfSteps; i++ {
+			v := val[cur]
+			acc += v
+			if v&3 == 0 {
+				acc ^= cur
+			}
+			cur = next[cur]
+		}
+		return acc
+	},
+}
+
+// mcfLayout returns the shuffled ring order and node values.
+func mcfLayout() ([]int, []uint32) {
+	rng := xorshift32(0x3c0f)
+	order := make([]int, mcfNodes)
+	for i := range order {
+		order[i] = i
+	}
+	for i := mcfNodes - 1; i > 0; i-- {
+		j := int(rng.next() % uint32(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	vals := make([]uint32, mcfNodes)
+	for i := range vals {
+		vals[i] = rng.next()
+	}
+	return order, vals
+}
+
+// Parser is the parser stand-in: the link-grammar parser is a
+// state-machine over tokens; the kernel classifies a character stream
+// through compare chains and tracks word/number/nesting state — short
+// data-dependent branches of mixed predictability.
+func Parser() *Workload { return parserW }
+
+const parserN = 12288
+
+var parserW = &Workload{
+	Name:     "parser",
+	Desc:     "parser stand-in: character-class FSM with nesting depth tracking",
+	Scale:    parserN,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s2=words s3=numbers s4=depth s5=maxdepth s6=i s7=state
+    lw s0, 0xF00(zero)
+    lui s1, 4             # 0x4000
+    li s2, 0
+    li s3, 0
+    li s4, 0
+    li s5, 0
+    li s6, 0
+    li s7, 0
+loop:
+    bge s6, s0, done
+    add t0, s1, s6
+    lbu t1, 0(t0)
+    li t2, 97
+    blt t1, t2, notletter
+    li t2, 123
+    blt t1, t2, letter
+notletter:
+    li t2, 48
+    blt t1, t2, notdigit
+    li t2, 58
+    blt t1, t2, digit
+notdigit:
+    li t2, 40
+    beq t1, t2, open
+    li t2, 41
+    beq t1, t2, close
+    li s7, 0
+    j next
+letter:
+    li t2, 1
+    beq s7, t2, next
+    li s7, 1
+    addi s2, s2, 1
+    j next
+digit:
+    li t2, 2
+    beq s7, t2, next
+    li s7, 2
+    addi s3, s3, 1
+    j next
+open:
+    addi s4, s4, 1
+    li s7, 0
+    blt s4, s5, next
+    mv s5, s4
+    j next
+close:
+    addi s4, s4, -1
+    li s7, 0
+next:
+    addi s6, s6, 1
+    j loop
+done:
+    slli t0, s2, 16
+    add t0, t0, s3
+    slli t1, s5, 8
+    add t0, t0, t1
+    add t0, t0, s4
+    sw t0, 0xF10(zero)
+    halt
+`,
+	Init: func(m *isa.Machine) {
+		text := parserText()
+		copy(m.Mem[RegionB:], text)
+	},
+	Reference: func() uint32 {
+		text := parserText()
+		var words, numbers, maxDepth uint32
+		var depth int32
+		state := 0
+		for _, c := range text {
+			switch {
+			case c >= 97 && c < 123:
+				if state != 1 {
+					state = 1
+					words++
+				}
+			case c >= 48 && c < 58:
+				if state != 2 {
+					state = 2
+					numbers++
+				}
+			case c == '(':
+				depth++
+				state = 0
+				if depth >= int32(maxDepth) {
+					maxDepth = uint32(depth)
+				}
+			case c == ')':
+				depth--
+				state = 0
+			default:
+				state = 0
+			}
+		}
+		return words<<16 + numbers + maxDepth<<8 + uint32(depth)
+	},
+}
+
+func parserText() []byte {
+	rng := xorshift32(0x9a45)
+	text := make([]byte, parserN)
+	for i := range text {
+		r := rng.next()
+		switch v := r % 100; {
+		case v < 55:
+			text[i] = 97 + byte(r>>8%26)
+		case v < 75:
+			text[i] = 48 + byte(r>>8%10)
+		case v < 85:
+			text[i] = ' '
+		case v < 92:
+			text[i] = '('
+		default:
+			text[i] = ')'
+		}
+	}
+	return text
+}
+
+// Vortex is the vortex stand-in: an object-database kernel dominated by
+// hash-table insert/lookup with open addressing — hash arithmetic,
+// probing loads, and store traffic.
+func Vortex() *Workload { return vortexW }
+
+const (
+	vortexSlots = 4096
+	vortexKeys  = 2500
+)
+
+var vortexW = &Workload{
+	Name:     "vortex",
+	Desc:     "vortex stand-in: open-addressing hash table insert + lookup",
+	Scale:    vortexKeys,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s0=nkeys s1=table s2=acc s3=rng s4=i s8=hashmul
+    lw s0, 0xF00(zero)
+    lui s1, 16
+    li s2, 0
+    li s3, 0x1234
+    li s4, 0
+    lui s8, -400521       # 0x9E377000
+    ori s8, s8, 0x9B1     # 2654435761
+insloop:
+    bge s4, s0, lkinit
+    jal ra, rngnext
+    ori a0, a0, 1
+    mul t2, a0, s8
+    srli t2, t2, 20
+    andi t2, t2, 4095
+probe:
+    slli t3, t2, 3
+    add t3, t3, s1
+    lw t4, 0(t3)
+    beq t4, zero, place
+    beq t4, a0, update
+    addi t2, t2, 1
+    andi t2, t2, 4095
+    addi s2, s2, 1
+    j probe
+place:
+    sw a0, 0(t3)
+update:
+    xor t5, a0, s4
+    sw t5, 4(t3)
+    addi s4, s4, 1
+    j insloop
+lkinit:
+    li s3, 0x1234
+    li s4, 0
+lkloop:
+    bge s4, s0, done
+    jal ra, rngnext
+    ori a0, a0, 1
+    mul t2, a0, s8
+    srli t2, t2, 20
+    andi t2, t2, 4095
+lkprobe:
+    slli t3, t2, 3
+    add t3, t3, s1
+    lw t4, 0(t3)
+    beq t4, a0, found
+    addi t2, t2, 1
+    andi t2, t2, 4095
+    j lkprobe
+found:
+    lw t5, 4(t3)
+    add s2, s2, t5
+    addi s4, s4, 1
+    j lkloop
+done:
+    sw s2, 0xF10(zero)
+    halt
+rngnext:
+    slli t0, s3, 13
+    xor s3, s3, t0
+    srli t0, s3, 17
+    xor s3, s3, t0
+    slli t0, s3, 5
+    xor s3, s3, t0
+    mv a0, s3
+    ret
+`,
+	Reference: func() uint32 {
+		keys := make([]uint32, vortexSlots)
+		vals := make([]uint32, vortexSlots)
+		var acc uint32
+		rng := xorshift32(0x1234)
+		for i := uint32(0); i < vortexKeys; i++ {
+			key := rng.next() | 1
+			h := key * 2654435761 >> 20 & (vortexSlots - 1)
+			for keys[h] != 0 && keys[h] != key {
+				h = (h + 1) & (vortexSlots - 1)
+				acc++
+			}
+			keys[h] = key
+			vals[h] = key ^ i
+		}
+		rng = xorshift32(0x1234)
+		for i := uint32(0); i < vortexKeys; i++ {
+			key := rng.next() | 1
+			h := key * 2654435761 >> 20 & (vortexSlots - 1)
+			for keys[h] != key {
+				h = (h + 1) & (vortexSlots - 1)
+			}
+			acc += vals[h]
+		}
+		return acc
+	},
+}

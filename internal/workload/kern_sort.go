@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Bzip is the bzip2 stand-in: the dominant phase of bzip2 is the
+// Burrows-Wheeler block sort, so the kernel shell-sorts a block of
+// pseudo-random words. It exercises compare-driven (hard-to-predict)
+// branches and strided loads/stores, the IPC-relevant traits of bzip2.
+func Bzip() *Workload { return bzipW }
+
+const bzipN = 1024
+
+var bzipW = &Workload{
+	Name:     "bzip",
+	Desc:     "bzip2 stand-in: shell sort of a pseudo-random block (BWT sort phase)",
+	Scale:    bzipN,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s0=n s1=base s2=gap s3=i s4=j
+    lw s0, 0xF00(zero)
+    lui s1, 4             # 0x4000
+    srli s2, s0, 1
+gaploop:
+    beq s2, zero, sorted
+    mv s3, s2
+iloop:
+    bge s3, s0, gapnext
+    slli t0, s3, 2
+    add t0, t0, s1
+    lw t1, 0(t0)          # tmp = a[i]
+    mv s4, s3
+jloop:
+    blt s4, s2, jdone
+    sub t2, s4, s2
+    slli t3, t2, 2
+    add t3, t3, s1
+    lw t4, 0(t3)          # a[j-gap]
+    bge t1, t4, jdone     # stop when tmp >= a[j-gap]
+    slli t5, s4, 2
+    add t5, t5, s1
+    sw t4, 0(t5)          # a[j] = a[j-gap]
+    sub s4, s4, s2
+    j jloop
+jdone:
+    slli t5, s4, 2
+    add t5, t5, s1
+    sw t1, 0(t5)          # a[j] = tmp
+    addi s3, s3, 1
+    j iloop
+gapnext:
+    srli s2, s2, 1
+    j gaploop
+sorted:
+# checksum: sum of a[i] ^ i
+    li t0, 0              # i
+    li t1, 0              # cs
+csloop:
+    bge t0, s0, done
+    slli t2, t0, 2
+    add t2, t2, s1
+    lw t3, 0(t2)
+    xor t3, t3, t0
+    add t1, t1, t3
+    addi t0, t0, 1
+    j csloop
+done:
+    sw t1, 0xF10(zero)
+    halt
+`,
+	Init: func(m *isa.Machine) {
+		rng := xorshift32(0xb21b)
+		for i := 0; i < bzipN; i++ {
+			m.WriteWord(uint32(RegionB+4*i), rng.next())
+		}
+	},
+	Reference: func() uint32 {
+		rng := xorshift32(0xb21b)
+		arr := make([]int32, bzipN)
+		for i := range arr {
+			arr[i] = int32(rng.next())
+		}
+		sort.Slice(arr, func(i, j int) bool { return arr[i] < arr[j] })
+		var cs uint32
+		for i, v := range arr {
+			cs += uint32(v) ^ uint32(i)
+		}
+		return cs
+	},
+}
+
+// Gzip is the gzip stand-in: the LZ77 longest-match search (hash-head
+// lookup plus byte-compare inner loop) dominates gzip's profile. Byte
+// loads, short data-dependent loops, and mixed-predictability branches.
+func Gzip() *Workload { return gzipW }
+
+const (
+	gzipN        = 6144
+	gzipHashSize = 1024
+	gzipMaxMatch = 16
+)
+
+var gzipW = &Workload{
+	Name:     "gzip",
+	Desc:     "gzip stand-in: LZ77 hash-chain match search over skewed text",
+	Scale:    gzipN,
+	MaxInstr: 4_000_000,
+	Asm: `
+# s0=n s1=text s2=headtab s3=i s4=total
+    lw s0, 0xF00(zero)
+    addi s0, s0, -3       # scan to n-3
+    lui s1, 4             # 0x4000
+    li s2, 0x1000
+    li s3, 1              # i starts at 1 so head[h]=0 means empty
+    li s4, 0
+scan:
+    bge s3, s0, done
+    add t0, s1, s3
+    lbu t1, 0(t0)         # b[i]
+    lbu t2, 1(t0)
+    lbu t3, 2(t0)
+# h = (b0*31 + b1*7 + b2) & 1023
+    slli t4, t1, 5
+    sub t4, t4, t1
+    slli t5, t2, 3
+    sub t5, t5, t2
+    add t4, t4, t5
+    add t4, t4, t3
+    slli t4, t4, 2
+    andi t4, t4, 0xFFC    # (h & 1023) * 4
+    add t4, t4, s2
+    lw t5, 0(t4)          # cand
+    sw s3, 0(t4)          # head[h] = i
+    beq t5, zero, next
+# match length loop: l in t6
+    li t6, 0
+    add t0, s1, t5        # &b[cand]
+    add t1, s1, s3        # &b[i]
+mloop:
+    lbu t2, 0(t0)
+    lbu t3, 0(t1)
+    bne t2, t3, mdone
+    addi t6, t6, 1
+    addi t0, t0, 1
+    addi t1, t1, 1
+    li t4, 16
+    blt t6, t4, mloop
+mdone:
+    add s4, s4, t6
+next:
+    addi s3, s3, 1
+    j scan
+done:
+    sw s4, 0xF10(zero)
+    halt
+`,
+	Init: func(m *isa.Machine) {
+		rng := xorshift32(0x671f)
+		for i := 0; i < gzipN+gzipMaxMatch+4; i++ {
+			m.Mem[RegionB+i] = 97 + byte(rng.next()&7)
+		}
+	},
+	Reference: func() uint32 {
+		rng := xorshift32(0x671f)
+		text := make([]byte, gzipN+gzipMaxMatch+4)
+		for i := range text {
+			text[i] = 97 + byte(rng.next()&7)
+		}
+		head := make([]uint32, gzipHashSize)
+		var total uint32
+		for i := uint32(1); i < gzipN-3; i++ {
+			b0, b1, b2 := uint32(text[i]), uint32(text[i+1]), uint32(text[i+2])
+			h := (b0*31 + b1*7 + b2) & (gzipHashSize - 1)
+			cand := head[h]
+			head[h] = i
+			if cand == 0 {
+				continue
+			}
+			l := uint32(0)
+			for l < gzipMaxMatch && text[cand+l] == text[i+l] {
+				l++
+			}
+			total += l
+		}
+		return total
+	},
+}

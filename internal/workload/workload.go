@@ -1,0 +1,133 @@
+// Package workload provides the benchmark programs of the reproduction:
+// a Dhrystone-like synthetic plus six kernels with the characteristic
+// control-flow and memory behavior of the paper's SPEC CPU2000 integer
+// selection (bzip2, gap, gzip, mcf, parser, vortex). Each workload is
+// assembled for the internal/isa machine, seeds its own deterministic
+// data, runs a scaled iteration count (the paper uses 100M-instruction
+// SimPoints; we default to ~10^5-10^6 instructions), and verifies its
+// result against a Go reference implementation.
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// Memory map shared by all kernels.
+const (
+	// MemSize is the machine memory each workload runs in.
+	MemSize = 1 << 20
+	// ScaleAddr holds the iteration count, written by Init.
+	ScaleAddr = 0x0F00
+	// ResultAddr receives the kernel's 32-bit checksum.
+	ResultAddr = 0x0F10
+	// Data regions (kernels document their own use).
+	RegionA = 0x1000
+	RegionB = 0x4000
+	RegionC = 0x8000
+	RegionD = 0x10000
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	Name string
+	// Desc says which paper benchmark the kernel stands in for and why
+	// the substitution preserves the relevant behavior.
+	Desc string
+	Asm  string
+	// Scale is the iteration count written to ScaleAddr.
+	Scale uint32
+	// MaxInstr bounds the run (guards against kernel bugs).
+	MaxInstr uint64
+	// Init seeds memory before the run.
+	Init func(m *isa.Machine)
+	// Reference computes the expected checksum from the same seed data.
+	Reference func() uint32
+
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// Program assembles (once) and returns the kernel image.
+func (w *Workload) Program() (*isa.Program, error) {
+	w.once.Do(func() {
+		w.prog, w.err = isa.Assemble(w.Asm)
+	})
+	return w.prog, w.err
+}
+
+// NewMachine returns a machine loaded and initialized for this workload.
+func (w *Workload) NewMachine() (*isa.Machine, error) {
+	p, err := w.Program()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	m := isa.NewMachine(MemSize)
+	if err := m.Load(p); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	m.WriteWord(ScaleAddr, w.Scale)
+	if w.Init != nil {
+		w.Init(m)
+	}
+	return m, nil
+}
+
+// Run executes the workload to completion and verifies the checksum.
+// It returns the machine (for trace-producing callers, see RunTrace).
+func (w *Workload) Run() (*isa.Machine, error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(w.MaxInstr, nil); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return m, w.Verify(m)
+}
+
+// Verify checks the result checksum against the Go reference.
+func (w *Workload) Verify(m *isa.Machine) error {
+	if !m.Halted {
+		return fmt.Errorf("workload %s: did not halt within %d instructions", w.Name, w.MaxInstr)
+	}
+	got := m.ReadWord(ResultAddr)
+	want := w.Reference()
+	if got != want {
+		return fmt.Errorf("workload %s: checksum %#x, want %#x", w.Name, got, want)
+	}
+	return nil
+}
+
+// xorshift32 is the deterministic data generator shared by Init and
+// Reference implementations.
+type xorshift32 uint32
+
+func (x *xorshift32) next() uint32 {
+	v := uint32(*x)
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	*x = xorshift32(v)
+	return v
+}
+
+// All returns the seven workloads in the paper's reporting order.
+func All() []*Workload {
+	return []*Workload{
+		Bzip(), Gap(), Gzip(), Mcf(), Parser(), Vortex(), Dhrystone(),
+	}
+}
+
+// ByName returns the named workload or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAllWorkloadsAssemble(t *testing.T) {
+	for _, w := range All() {
+		if _, err := w.Program(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestAllWorkloadsRunAndVerify(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m, err := w.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d instructions, checksum %#x", w.Name, m.Instret, m.ReadWord(ResultAddr))
+			if m.Instret < 50_000 {
+				t.Errorf("%s: only %d instructions; too short for a SimPoint stand-in", w.Name, m.Instret)
+			}
+			if m.Instret > w.MaxInstr {
+				t.Errorf("%s: hit the instruction cap", w.Name)
+			}
+		})
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	w := Gzip()
+	m1, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Instret != m2.Instret || m1.ReadWord(ResultAddr) != m2.ReadWord(ResultAddr) {
+		t.Fatal("workload runs must be deterministic")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("mcf") == nil {
+		t.Fatal("mcf should exist")
+	}
+	if ByName("specfp") != nil {
+		t.Fatal("unexpected workload")
+	}
+}
+
+func TestBranchMixDiffers(t *testing.T) {
+	// The kernels must differ in branch behavior: mcf/parser should have
+	// a larger share of data-dependent conditional branches than
+	// dhrystone's loop-dominated mix. Measure taken-rate entropy proxy:
+	// the fraction of conditional branches that are taken.
+	frac := map[string]float64{}
+	for _, name := range []string{"dhrystone", "mcf", "parser"} {
+		w := ByName(name)
+		m, err := w.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cond, taken int
+		if err := m.Run(w.MaxInstr, func(tr isa.Trace) {
+			if tr.Inst.Op.IsCond() {
+				cond++
+				if tr.Taken {
+					taken++
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if cond == 0 {
+			t.Fatalf("%s: no conditional branches", name)
+		}
+		frac[name] = float64(taken) / float64(cond)
+		t.Logf("%s: %d cond branches, taken %.2f", name, cond, frac[name])
+	}
+	// All kernels must actually branch both ways.
+	for n, f := range frac {
+		if f < 0.02 || f > 0.98 {
+			t.Errorf("%s: degenerate taken fraction %.3f", n, f)
+		}
+	}
+}
+
+func TestInstructionMixes(t *testing.T) {
+	// The kernels must differ along the axes that drive IPC: gap is
+	// multiply/divide heavy, mcf and vortex are load heavy, all within
+	// plausible shares.
+	type mix struct{ muldiv, mem, branch float64 }
+	mixes := map[string]mix{}
+	for _, w := range All() {
+		m, err := w.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var md, mem, br, tot float64
+		if err := m.Run(w.MaxInstr, func(tr isa.Trace) {
+			tot++
+			switch tr.Inst.Op.Class() {
+			case isa.ClassMul, isa.ClassDiv:
+				md++
+			case isa.ClassLoad, isa.ClassStore:
+				mem++
+			case isa.ClassBranch:
+				br++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mixes[w.Name] = mix{md / tot, mem / tot, br / tot}
+		t.Logf("%-10s muldiv=%.3f mem=%.3f branch=%.3f", w.Name, md/tot, mem/tot, br/tot)
+	}
+	if mixes["gap"].muldiv < 0.2 {
+		t.Errorf("gap should be mul/div heavy: %.3f", mixes["gap"].muldiv)
+	}
+	for _, n := range []string{"bzip", "gzip", "mcf", "parser", "vortex", "dhrystone"} {
+		if mixes[n].muldiv > mixes["gap"].muldiv/2 {
+			t.Errorf("%s mul/div share %.3f should be well below gap's %.3f", n, mixes[n].muldiv, mixes["gap"].muldiv)
+		}
+	}
+	if mixes["mcf"].mem < 0.15 {
+		t.Errorf("mcf should be memory heavy: %.3f", mixes["mcf"].mem)
+	}
+	for name, m := range mixes {
+		if m.branch < 0.05 || m.branch > 0.6 {
+			t.Errorf("%s branch share %.3f implausible", name, m.branch)
+		}
+	}
+}
+
+func TestMemoryRegionsDisjointFromCode(t *testing.T) {
+	for _, w := range All() {
+		p, err := w.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := p.Origin + uint32(4*len(p.Words))
+		if end > RegionA {
+			t.Errorf("%s: code reaches %#x, overlaps RegionA %#x", w.Name, end, RegionA)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/biodeg"
@@ -229,6 +230,22 @@ func BenchmarkAbsoluteFrequency(b *testing.B) {
 		b.ReportMetric(sil[0].Freq/1e6, "silicon-baseline-MHz")
 		b.ReportMetric(org[0].Freq, "organic-baseline-Hz")
 	}
+}
+
+// BenchmarkParallelExperiments measures the runner-pool experiment
+// fan-out: the cheap device-level figures dispatched together through
+// biodeg.RunExperiments. Compare against running the same IDs serially
+// to see the pool's effect on a multi-core host; the workers metric
+// records the pool size the run actually used (BIODEG_WORKERS or
+// GOMAXPROCS).
+func BenchmarkParallelExperiments(b *testing.B) {
+	ids := []string{"fig3", "fig4", "fig6", "fig7", "fig8"}
+	for i := 0; i < b.N; i++ {
+		if _, err := biodeg.RunExperiments(context.Background(), ids...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(biodeg.Parallelism()), "workers")
 }
 
 // BenchmarkWorkloadSimulation measures raw trace-driven simulation

@@ -1,28 +1,16 @@
-// Package biodeg is the public API of the reproduction of
-// "Architectural Tradeoffs for Biodegradable Computing" (MICRO-50,
-// 2017): a design-space explorer for processor cores built from organic
-// (pentacene OTFT) versus silicon standard cells.
-//
-// The typical flow mirrors the paper's (Figure 10):
-//
-//	org := biodeg.Organic()              // characterized technology
-//	inv := biodeg.InverterDC(biodeg.PseudoE, 5, -15)  // cell-level DC analysis
-//	alu := biodeg.ALUDepth(org, 30)      // Fig. 12 sweep
-//	core := biodeg.CoreDepth(org, 9, 15) // Fig. 11 sweep
-//	width := biodeg.Widths(org)          // Figs. 13-14 sweep
-//	tables := biodeg.RunExperiment("fig12")  // any paper artifact
-//
-// Heavy artifacts (cell characterization, stage synthesis, IPC runs)
-// are cached process-wide, so repeated calls are cheap.
 package biodeg
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cells"
 	"repro/internal/core"
 	"repro/internal/liberty"
 	"repro/internal/pipeline"
+	"repro/internal/runner"
+	"repro/internal/runner/metrics"
 	"repro/internal/spice"
 	"repro/internal/uarch"
 	"repro/internal/workload"
@@ -70,6 +58,11 @@ func ALUDepth(t *Technology, maxStages int) ([]pipeline.Point, error) {
 	return core.ALUDepthSweep(t, maxStages, true)
 }
 
+// ALUDepthCtx is ALUDepth with cancellation.
+func ALUDepthCtx(ctx context.Context, t *Technology, maxStages int) ([]pipeline.Point, error) {
+	return core.ALUDepthSweepCtx(ctx, t, maxStages, true)
+}
+
 // CoreDepth sweeps the 9-stage baseline core to maxDepth by repeatedly
 // cutting the critical stage, reproducing Figure 11. Points carry
 // per-benchmark IPC and performance.
@@ -77,10 +70,20 @@ func CoreDepth(t *Technology, minDepth, maxDepth int) ([]core.DepthPoint, error)
 	return core.CoreDepthSweep(t, minDepth, maxDepth, true)
 }
 
+// CoreDepthCtx is CoreDepth with cancellation.
+func CoreDepthCtx(ctx context.Context, t *Technology, minDepth, maxDepth int) ([]core.DepthPoint, error) {
+	return core.CoreDepthSweepCtx(ctx, t, minDepth, maxDepth, true)
+}
+
 // Widths sweeps the thirty superscalar width configurations
 // (front-end 1-6 x back-end 3-7), reproducing Figures 13-14.
 func Widths(t *Technology) ([]core.WidthPoint, error) {
 	return core.WidthSweep(t)
+}
+
+// WidthsCtx is Widths with cancellation.
+func WidthsCtx(ctx context.Context, t *Technology) ([]core.WidthPoint, error) {
+	return core.WidthSweepCtx(ctx, t)
 }
 
 // Benchmarks lists the seven workloads (Dhrystone-like plus six
@@ -117,6 +120,8 @@ type (
 	Experiment = core.Experiment
 	// Table is a rendered experiment result.
 	Table = core.Table
+	// ExperimentResult pairs an experiment with its tables.
+	ExperimentResult = core.ExperimentResult
 )
 
 // Experiments returns the registry of paper artifacts (fig3..fig15 plus
@@ -131,3 +136,42 @@ func RunExperiment(id string) ([]*Table, error) {
 	}
 	return e.Run()
 }
+
+// RunExperiments runs the named experiments concurrently on the worker
+// pool (independent figures in parallel; shared heavy intermediates are
+// deduplicated by the process-wide caches) and returns their results in
+// the order the IDs were given. The first failure cancels the
+// not-yet-started experiments.
+func RunExperiments(ctx context.Context, ids ...string) ([]ExperimentResult, error) {
+	exps := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		if exps[i] = core.ExperimentByID(id); exps[i] == nil {
+			return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
+		}
+	}
+	return core.RunExperiments(ctx, exps)
+}
+
+// RunAll runs the whole registry concurrently, in registry order.
+func RunAll(ctx context.Context) ([]ExperimentResult, error) {
+	return core.RunExperiments(ctx, core.Experiments())
+}
+
+// Parallelism reports the worker-pool size used by the sweeps and the
+// experiment runner: BIODEG_WORKERS when set, else GOMAXPROCS.
+func Parallelism() int { return runner.Workers() }
+
+// MetricsEnabled reports whether BIODEG_METRICS asks for the per-stage
+// wall-time report (commands print it to stderr when true).
+func MetricsEnabled() bool { return metrics.Enabled() }
+
+// MetricsReport renders the per-stage counters and wall-time histograms
+// (characterize / sta / pipeline / ipc / experiment) recorded so far.
+func MetricsReport() string { return metrics.Report() }
+
+// OnProgress installs fn as a process-wide progress hook, invoked after
+// every completed unit of instrumented work with the stage name, the
+// stage's cumulative count, and the unit's duration. Pass nil to remove
+// the hook. The callback runs on worker goroutines: keep it fast and
+// concurrency-safe.
+func OnProgress(fn func(stage string, count int64, d time.Duration)) { metrics.OnProgress(fn) }

@@ -1,0 +1,27 @@
+// Package biodeg is the public API of the reproduction of
+// "Architectural Tradeoffs for Biodegradable Computing" (MICRO-50,
+// 2017): a design-space explorer for processor cores built from organic
+// (pentacene OTFT) versus silicon standard cells.
+//
+// The typical flow mirrors the paper's (Figure 10):
+//
+//	org := biodeg.Organic()              // characterized technology
+//	inv := biodeg.InverterDC(biodeg.PseudoE, 5, -15)  // cell-level DC analysis
+//	alu := biodeg.ALUDepth(org, 30)      // Fig. 12 sweep
+//	core := biodeg.CoreDepth(org, 9, 15) // Fig. 11 sweep
+//	width := biodeg.Widths(org)          // Figs. 13-14 sweep
+//	tables := biodeg.RunExperiment("fig12")  // any paper artifact
+//
+// Concurrency and caching contract: every sweep and experiment is safe
+// for concurrent use. Heavy artifacts (cell characterization, stage
+// synthesis, IPC runs) are cached process-wide in per-key singleflight
+// caches, so repeated or concurrent calls are cheap and never convoy on
+// a global lock. The sweeps themselves fan out over a bounded worker
+// pool sized by GOMAXPROCS (override with BIODEG_WORKERS); the Ctx
+// variants (CoreDepthCtx, WidthsCtx, ALUDepthCtx, RunExperiments)
+// accept a context for cancellation, and parallel results are ordered
+// by design point — bit-identical to a serial run. RunExperiments
+// executes independent paper figures concurrently; set BIODEG_METRICS=1
+// to make the commands print the per-stage wall-time report, or attach
+// OnProgress for live progress callbacks.
+package biodeg

@@ -1,6 +1,8 @@
 // Command archexplore runs the architectural design-space experiments
 // (paper Figures 11-15): ALU and core pipeline-depth sweeps, the
-// superscalar width matrices, and the wire-delay ablation.
+// superscalar width matrices, and the wire-delay ablation. Selected
+// experiments run concurrently; output stays in selection order. Set
+// BIODEG_METRICS=1 for the per-stage wall-time report on stderr.
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -42,14 +45,17 @@ func main() {
 		}
 		ids = []string{id}
 	}
-	for _, id := range ids {
-		tables, err := biodeg.RunExperiment(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "archexplore: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		for _, t := range tables {
+	results, err := biodeg.RunExperiments(context.Background(), ids...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archexplore: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		for _, t := range r.Tables {
 			fmt.Println(t.Render())
 		}
+	}
+	if biodeg.MetricsEnabled() {
+		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
 	}
 }

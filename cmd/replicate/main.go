@@ -1,10 +1,14 @@
 // Command replicate runs every experiment of the reproduction in paper
 // order and prints the full paper-vs-measured report (the source of
-// EXPERIMENTS.md). Expect a few minutes of runtime: it characterizes
-// both cell libraries and sweeps every design point.
+// EXPERIMENTS.md). Independent experiments execute concurrently on a
+// worker pool sized by GOMAXPROCS (override with BIODEG_WORKERS);
+// output stays in registry order and is identical to a serial run. Set
+// BIODEG_METRICS=1 to append the per-stage wall-time report on stderr,
+// and BIODEG_LIBCACHE=<dir> to skip re-characterization across runs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -14,17 +18,20 @@ import (
 
 func main() {
 	start := time.Now()
-	for _, e := range biodeg.Experiments() {
-		fmt.Printf("######## %s: %s\n", e.ID, e.Title)
-		fmt.Printf("paper: %s\n\n", e.Paper)
-		tables, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "replicate: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		for _, t := range tables {
+	results, err := biodeg.RunAll(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("######## %s: %s\n", r.Experiment.ID, r.Experiment.Title)
+		fmt.Printf("paper: %s\n\n", r.Experiment.Paper)
+		for _, t := range r.Tables {
 			fmt.Println(t.Render())
 		}
 	}
 	fmt.Printf("total runtime: %v\n", time.Since(start))
+	if biodeg.MetricsEnabled() {
+		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	}
 }

@@ -1,13 +1,15 @@
 package cells
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
-	"sync"
 
 	"repro/internal/liberty"
+	"repro/internal/runner"
+	"repro/internal/runner/metrics"
 	"repro/internal/spice"
 )
 
@@ -27,10 +29,10 @@ func DefaultCharConfig() CharConfig {
 	}
 }
 
-var (
-	libMu    sync.Mutex
-	libCache = map[string]*liberty.Library{}
-)
+// libMemo caches characterized libraries per technology name, so the
+// two technologies characterize concurrently instead of serializing on
+// a package-level mutex.
+var libMemo runner.Memo[string, *liberty.Library]
 
 // Library characterizes (once, cached) and returns the technology's
 // 6-cell liberty library. When the BIODEG_LIBCACHE environment variable
@@ -39,26 +41,25 @@ var (
 // transient-simulation pass (stale files regenerate on format-version
 // or read errors).
 func Library(t *Technology) *liberty.Library {
-	libMu.Lock()
-	defer libMu.Unlock()
-	if lib, ok := libCache[t.Name]; ok {
-		return lib
-	}
-	cacheDir := os.Getenv("BIODEG_LIBCACHE")
-	if cacheDir != "" {
-		if lib, err := loadLibraryFile(filepath.Join(cacheDir, t.Name+".lib")); err == nil {
-			libCache[t.Name] = lib
-			return lib
+	lib, err := libMemo.Do(t.Name, func() (*liberty.Library, error) {
+		cacheDir := os.Getenv("BIODEG_LIBCACHE")
+		if cacheDir != "" {
+			if lib, err := loadLibraryFile(filepath.Join(cacheDir, t.Name+".lib")); err == nil {
+				return lib, nil
+			}
 		}
-	}
-	lib, err := Characterize(t, DefaultCharConfig())
+		lib, err := Characterize(t, DefaultCharConfig())
+		if err != nil {
+			return nil, err
+		}
+		if cacheDir != "" {
+			// Best effort: a failed save only means re-characterizing later.
+			_ = saveLibraryFile(filepath.Join(cacheDir, t.Name+".lib"), lib)
+		}
+		return lib, nil
+	})
 	if err != nil {
 		panic(fmt.Sprintf("cells: characterizing %s: %v", t.Name, err))
-	}
-	libCache[t.Name] = lib
-	if cacheDir != "" {
-		// Best effort: a failed save only means re-characterizing later.
-		_ = saveLibraryFile(filepath.Join(cacheDir, t.Name+".lib"), lib)
 	}
 	return lib
 }
@@ -119,30 +120,20 @@ func Characterize(t *Technology, cfg CharConfig) (*liberty.Library, error) {
 	for i, m := range cfg.LoadMults {
 		loads[i] = m * invCap
 	}
-	// Cells are independent; characterize them concurrently.
-	type result struct {
-		cell *liberty.Cell
-		err  error
-	}
-	results := make([]result, len(t.Protos))
-	var wg sync.WaitGroup
-	for i, p := range t.Protos {
-		wg.Add(1)
-		go func(i int, p *Proto) {
-			defer wg.Done()
-			cell, err := characterizeCell(t, p, slews, loads, cfg.Steps)
-			if err != nil {
-				err = fmt.Errorf("cells: %s/%s: %w", t.Name, p.Name, err)
-			}
-			results[i] = result{cell, err}
-		}(i, p)
-	}
-	wg.Wait()
-	for i, r := range results {
-		if r.err != nil {
-			return nil, r.err
+	// Cells are independent; characterize them on the worker pool.
+	cellsOut, err := runner.Map(context.Background(), len(t.Protos), func(_ context.Context, i int) (*liberty.Cell, error) {
+		defer metrics.Time(metrics.StageCharacterize)()
+		cell, err := characterizeCell(t, t.Protos[i], slews, loads, cfg.Steps)
+		if err != nil {
+			return nil, fmt.Errorf("cells: %s/%s: %w", t.Name, t.Protos[i].Name, err)
 		}
-		lib.Cells[t.Protos[i].Name] = r.cell
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cellsOut {
+		lib.Cells[t.Protos[i].Name] = cell
 	}
 	lib.Cells["DFF"] = deriveDFF(t, lib)
 	return lib, nil

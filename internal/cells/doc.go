@@ -1,0 +1,26 @@
+// Package cells defines the transistor-level standard cells of the two
+// technologies (organic pentacene pseudo-E logic and silicon 45 nm
+// complementary CMOS), and characterizes them into liberty NLDM
+// libraries using the spice engine. It reproduces Section 4 of the
+// paper: inverter style comparison, pseudo-E cell family, and library
+// characterization.
+//
+// Key entry points: Organic and Silicon return the two Technology
+// definitions; Library characterizes a technology's 6-cell library
+// (INV, NAND2/3, NOR2/3, DFF) with the NLDM slew x load grid;
+// AnalyzeOrganicInverter, VMVersusVSS, and VariationTrim are the
+// inverter-level experiments behind Figures 5-8 and the variation
+// extension; EnergySweep inputs come from the per-cell leakage and
+// switching energy measured here.
+//
+// Concurrency and caching contract: Library memoizes one characterized
+// library per technology name in a per-key singleflight cache — the two
+// technologies characterize concurrently without serializing on each
+// other, and concurrent callers of the same technology share a single
+// characterization. Within one characterization the independent cells
+// fan out over the runner worker pool, each recording a "characterize"
+// metrics observation. Setting BIODEG_LIBCACHE=<dir> persists
+// characterized libraries as .lib text files and reloads them on later
+// runs. Returned *liberty.Library values are shared and must be
+// treated as immutable.
+package cells

@@ -1,9 +1,3 @@
-// Package cells defines the transistor-level standard cells of the two
-// technologies (organic pentacene pseudo-E logic and silicon 45 nm
-// complementary CMOS), and characterizes them into liberty NLDM
-// libraries using the spice engine. It reproduces Section 4 of the
-// paper: inverter style comparison, pseudo-E cell family, and library
-// characterization.
 package cells
 
 import (

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/logic"
 	"repro/internal/pipeline"
+	"repro/internal/runner"
 	"repro/internal/sta"
 )
 
@@ -13,9 +15,11 @@ import (
 const aluRankBits = 128
 
 var (
-	aluMu    sync.Mutex
-	aluNet   *logic.Netlist
-	aluCache = map[string]*sta.Result{}
+	aluNetOnce sync.Once
+	aluNet     *logic.Netlist
+	// aluMemo caches the analyzed ALU per technology/wire-mode key, so
+	// the four Figure 15 series analyze concurrently.
+	aluMemo runner.Memo[string, *sta.Result]
 )
 
 // aluResult analyzes (with caching) the 32-bit complex ALU for one
@@ -25,24 +29,10 @@ func aluResult(t *Tech, wire bool) (*sta.Result, error) {
 	if !wire {
 		key += "-nowire"
 	}
-	aluMu.Lock()
-	if aluNet == nil {
-		aluNet = logic.BuildComplexALU(dataWidth)
-	}
-	nl := aluNet
-	if r, ok := aluCache[key]; ok {
-		aluMu.Unlock()
-		return r, nil
-	}
-	aluMu.Unlock()
-	res, err := sta.AnalyzeNetlist(nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
-	if err != nil {
-		return nil, err
-	}
-	aluMu.Lock()
-	aluCache[key] = res
-	aluMu.Unlock()
-	return res, nil
+	return aluMemo.Do(key, func() (*sta.Result, error) {
+		aluNetOnce.Do(func() { aluNet = logic.BuildComplexALU(dataWidth) })
+		return sta.AnalyzeNetlist(aluNet, t.Lib, t.Wire, sta.Options{UseWire: wire})
+	})
 }
 
 // ALUDepthSweep reproduces Figure 12: pipeline the complex ALU
@@ -52,10 +42,23 @@ func ALUDepthSweep(t *Tech, maxStages int, wire bool) ([]pipeline.Point, error) 
 	return ALUDepthSweepK(t, maxStages, wire, 0)
 }
 
+// ALUDepthSweepCtx is ALUDepthSweep with cancellation.
+func ALUDepthSweepCtx(ctx context.Context, t *Tech, maxStages int, wire bool) ([]pipeline.Point, error) {
+	return aluDepthSweep(ctx, t, maxStages, wire, 0)
+}
+
 // ALUDepthSweepK is ALUDepthSweep with an explicit feedback-wire
 // constant (0 selects the pipeline package default) — the ablation knob
 // for the paper's causal mechanism.
 func ALUDepthSweepK(t *Tech, maxStages int, wire bool, feedbackK float64) ([]pipeline.Point, error) {
+	return aluDepthSweep(context.Background(), t, maxStages, wire, feedbackK)
+}
+
+// aluDepthSweep analyzes the ALU once (cached) and partitions each
+// depth independently on the worker pool; per-depth points depend only
+// on their stage count, so the parallel sweep is bit-identical to the
+// serial one.
+func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedbackK float64) ([]pipeline.Point, error) {
 	res, err := aluResult(t, wire)
 	if err != nil {
 		return nil, err
@@ -66,7 +69,10 @@ func ALUDepthSweepK(t *Tech, maxStages int, wire bool, feedbackK float64) ([]pip
 		UseWire:   wire,
 		FeedbackK: feedbackK,
 	}
-	return pipeline.SweepDepth(res, t.DFF(), cfg, maxStages), nil
+	dff := t.DFF()
+	return runner.Map(ctx, maxStages, func(_ context.Context, i int) (pipeline.Point, error) {
+		return pipeline.PointAt(res, dff, cfg, i+1), nil
+	})
 }
 
 // ALUResult exposes the analyzed complex-ALU timing (for the

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/pipeline"
+	"repro/internal/runner"
+	"repro/internal/uarch"
 )
 
 // DepthPoint is one pipeline depth of the Figure 11 experiment.
@@ -25,6 +29,16 @@ type DepthPoint struct {
 // each resulting design (the cut placement differs between technologies
 // because their critical stages differ — Section 5.5).
 func CoreDepthSweep(t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, error) {
+	return CoreDepthSweepCtx(context.Background(), t, minDepth, maxDepth, wire)
+}
+
+// CoreDepthSweepCtx is CoreDepthSweep with cancellation. The cut
+// placement is inherently serial (each depth's cuts depend on the
+// previous critical path), so the cheap timing walk stays sequential;
+// the expensive part — seven benchmark IPC simulations per depth — fans
+// out over the worker pool as depth x benchmark tasks. Results are
+// assembled by index and are bit-identical to the serial sweep.
+func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, error) {
 	const fe, be = 1, 3
 	blocks, err := coreBlocks(t, fe, be, wire)
 	if err != nil {
@@ -46,8 +60,7 @@ func CoreDepthSweep(t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, e
 		for i, b := range blocks {
 			cuts[StageName(i)] = b.Cuts
 		}
-		ucfg := uarchConfig(fe, be, cuts)
-		pt := DepthPoint{
+		pts = append(pts, DepthPoint{
 			Depth:    depth,
 			Period:   period,
 			Freq:     tp.Freq,
@@ -56,16 +69,22 @@ func CoreDepthSweep(t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, e
 			Cuts:     cuts,
 			IPC:      map[string]float64{},
 			Perf:     map[string]float64{},
-		}
-		for _, b := range Benchmarks() {
-			st, err := BenchIPC(b, ucfg)
-			if err != nil {
-				return nil, err
-			}
-			pt.IPC[b] = st.IPC
-			pt.Perf[b] = st.IPC * tp.Freq
-		}
-		pts = append(pts, pt)
+		})
+	}
+	// Simulate every (depth, benchmark) pair concurrently, then fill the
+	// per-point maps in order.
+	benches := Benchmarks()
+	stats, err := runner.Map(ctx, len(pts)*len(benches), func(_ context.Context, i int) (uarch.Stats, error) {
+		pt := pts[i/len(benches)]
+		return BenchIPC(benches[i%len(benches)], uarchConfig(fe, be, pt.Cuts))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range stats {
+		pt, b := &pts[i/len(benches)], benches[i%len(benches)]
+		pt.IPC[b] = st.IPC
+		pt.Perf[b] = st.IPC * pt.Freq
 	}
 	return pts, nil
 }

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/cells"
 	"repro/internal/device"
+	"repro/internal/runner"
+	"repro/internal/runner/metrics"
 )
 
 // Experiment reproduces one paper artifact (table or figure).
@@ -14,6 +17,31 @@ type Experiment struct {
 	Title string
 	Paper string // what the paper reports (target shape)
 	Run   func() ([]*Table, error)
+}
+
+// ExperimentResult pairs an experiment with its rendered tables.
+type ExperimentResult struct {
+	Experiment *Experiment
+	Tables     []*Table
+}
+
+// RunExperiments executes the given experiments concurrently on the
+// worker pool (the registry's figures are independent; their shared
+// heavy intermediates are deduplicated by the memo caches) and returns
+// results in input order. The first failing experiment cancels the
+// rest; experiments not yet started are skipped. Each completed
+// experiment records a metrics observation under the "experiment"
+// stage.
+func RunExperiments(ctx context.Context, exps []*Experiment) ([]ExperimentResult, error) {
+	return runner.Map(ctx, len(exps), func(_ context.Context, i int) (ExperimentResult, error) {
+		e := exps[i]
+		defer metrics.Time(metrics.StageExperiment)()
+		tables, err := e.Run()
+		if err != nil {
+			return ExperimentResult{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return ExperimentResult{Experiment: e, Tables: tables}, nil
+	})
 }
 
 // Experiments returns the full registry in paper order.

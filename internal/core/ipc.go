@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/runner"
+	"repro/internal/runner/metrics"
 	"repro/internal/uarch"
 	"repro/internal/workload"
 )
@@ -30,41 +31,35 @@ type ipcKey struct {
 	cfg   uarch.Config
 }
 
-var (
-	ipcMu    sync.Mutex
-	ipcCache = map[ipcKey]uarch.Stats{}
-)
+// ipcMemo caches benchmark statistics per (benchmark, configuration)
+// key: the depth and width sweeps re-request overlapping points from
+// many workers, and distinct points must simulate in parallel instead
+// of convoying on one package-level mutex.
+var ipcMemo runner.Memo[ipcKey, uarch.Stats]
 
 // BenchIPC runs (with caching) one workload through the cycle-level
 // model and returns its statistics.
 func BenchIPC(bench string, cfg uarch.Config) (uarch.Stats, error) {
-	key := ipcKey{bench, cfg}
-	ipcMu.Lock()
-	if st, ok := ipcCache[key]; ok {
-		ipcMu.Unlock()
+	return ipcMemo.Do(ipcKey{bench, cfg}, func() (uarch.Stats, error) {
+		defer metrics.Time(metrics.StageIPC)()
+		w := workload.ByName(bench)
+		if w == nil {
+			return uarch.Stats{}, fmt.Errorf("core: unknown benchmark %q", bench)
+		}
+		m, err := w.NewMachine()
+		if err != nil {
+			return uarch.Stats{}, err
+		}
+		src := &uarch.MachineSource{M: m, Max: w.MaxInstr}
+		st := uarch.Run(src, cfg)
+		if src.Err != nil {
+			return uarch.Stats{}, fmt.Errorf("core: %s: %w", bench, src.Err)
+		}
+		if err := w.Verify(m); err != nil {
+			return uarch.Stats{}, err
+		}
 		return st, nil
-	}
-	ipcMu.Unlock()
-	w := workload.ByName(bench)
-	if w == nil {
-		return uarch.Stats{}, fmt.Errorf("core: unknown benchmark %q", bench)
-	}
-	m, err := w.NewMachine()
-	if err != nil {
-		return uarch.Stats{}, err
-	}
-	src := &uarch.MachineSource{M: m, Max: w.MaxInstr}
-	st := uarch.Run(src, cfg)
-	if src.Err != nil {
-		return uarch.Stats{}, fmt.Errorf("core: %s: %w", bench, src.Err)
-	}
-	if err := w.Verify(m); err != nil {
-		return uarch.Stats{}, err
-	}
-	ipcMu.Lock()
-	ipcCache[key] = st
-	ipcMu.Unlock()
-	return st, nil
+	})
 }
 
 // Benchmarks returns the benchmark names in reporting order.

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/logic"
 	"repro/internal/pipeline"
+	"repro/internal/runner"
 	"repro/internal/sta"
 )
 
@@ -214,10 +214,10 @@ type stageKey struct {
 	wire  bool
 }
 
-var (
-	stageMu    sync.Mutex
-	stageCache = map[stageKey]*sta.Result{}
-)
+// stageMemo caches analyzed stages per key: concurrent sweep points
+// asking for the same stage share one analysis while distinct stages
+// synthesize in parallel without convoying on a global lock.
+var stageMemo runner.Memo[stageKey, *sta.Result]
 
 // analyzeStage synthesizes and times one stage netlist for a technology.
 // Each stage depends on only one of the two widths; the other is zeroed
@@ -230,21 +230,14 @@ func analyzeStage(t *Tech, s StageName, fe, be int, wire bool) (*sta.Result, err
 		fe = 0
 	}
 	key := stageKey{t.Name, s, fe, be, wire}
-	stageMu.Lock()
-	if r, ok := stageCache[key]; ok {
-		stageMu.Unlock()
-		return r, nil
-	}
-	stageMu.Unlock()
-	nl := buildStage(s, fe, be)
-	res, err := sta.AnalyzeNetlist(nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
-	if err != nil {
-		return nil, fmt.Errorf("core: %s/%v: %w", t.Name, s, err)
-	}
-	stageMu.Lock()
-	stageCache[key] = res
-	stageMu.Unlock()
-	return res, nil
+	return stageMemo.Do(key, func() (*sta.Result, error) {
+		nl := buildStage(s, fe, be)
+		res, err := sta.AnalyzeNetlist(nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%v: %w", t.Name, s, err)
+		}
+		return res, nil
+	})
 }
 
 // coreBlocks builds the nine analyzed baseline blocks.

@@ -1,16 +1,9 @@
-// Package core is the paper's primary contribution: the architectural
-// design-space explorer for organic versus silicon processes. It ties
-// the substrates together — characterized cell libraries (cells),
-// gate-level netlists (logic), synthesis and timing (synth/sta),
-// pipelining (pipeline), and the cycle-level core model (uarch) — into
-// the experiments behind every figure of the evaluation (Section 5).
 package core
 
 import (
-	"sync"
-
 	"repro/internal/cells"
 	"repro/internal/liberty"
+	"repro/internal/runner"
 	"repro/internal/sta"
 )
 
@@ -22,30 +15,25 @@ type Tech struct {
 	Wire sta.Wire
 }
 
-var (
-	techMu    sync.Mutex
-	techCache = map[string]*Tech{}
-)
+// techMemo caches built technologies per name, so the two technologies
+// can characterize concurrently without serializing on each other.
+var techMemo runner.Memo[string, *Tech]
 
 // newTech builds (and caches) a Tech from a cells technology,
 // characterizing its library on first use.
 func newTech(ct *cells.Technology) *Tech {
-	techMu.Lock()
-	defer techMu.Unlock()
-	if t, ok := techCache[ct.Name]; ok {
-		return t
-	}
-	t := &Tech{
-		Name: ct.Name,
-		Cell: ct,
-		Lib:  cells.Library(ct),
-		Wire: sta.Wire{
-			ResPerM: ct.WireResPerM,
-			CapPerM: ct.WireCapPerM,
-			Pitch:   ct.CellPitch,
-		},
-	}
-	techCache[ct.Name] = t
+	t, _ := techMemo.Do(ct.Name, func() (*Tech, error) {
+		return &Tech{
+			Name: ct.Name,
+			Cell: ct,
+			Lib:  cells.Library(ct),
+			Wire: sta.Wire{
+				ResPerM: ct.WireResPerM,
+				CapPerM: ct.WireCapPerM,
+				Pitch:   ct.CellPitch,
+			},
+		}, nil
+	})
 	return t
 }
 

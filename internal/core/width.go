@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/pipeline"
+import (
+	"context"
+
+	"repro/internal/pipeline"
+	"repro/internal/runner"
+)
 
 // Width ranges of the Figures 13-14 experiment.
 const (
@@ -24,31 +29,39 @@ type WidthPoint struct {
 // (front-end width 1-6 x back-end pipes 3-7) at the 9-stage baseline
 // depth and reports period, area, and benchmark-averaged performance.
 func WidthSweep(t *Tech) ([]WidthPoint, error) {
-	var pts []WidthPoint
+	return WidthSweepCtx(context.Background(), t)
+}
+
+// WidthSweepCtx is WidthSweep with cancellation. Every (front, back)
+// configuration is independent, so the whole FE x BE grid fans out over
+// the worker pool; shared stage analyses and benchmark simulations are
+// deduplicated by the per-key memo caches, and results come back in the
+// serial sweep's (back-major) order.
+func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 	dff := t.DFF()
-	for be := MinBack; be <= MaxBack; be++ {
-		for fe := MinFront; fe <= MaxFront; fe++ {
-			blocks, err := coreBlocks(t, fe, be, true)
-			if err != nil {
-				return nil, err
-			}
-			period, tp := pipeline.CoreTiming(blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
-			mean, err := MeanIPC(uarchConfig(fe, be, nil))
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, WidthPoint{
-				Front:   fe,
-				Back:    be,
-				Period:  period,
-				Freq:    tp.Freq,
-				Area:    tp.Area,
-				MeanIPC: mean,
-				Perf:    mean * tp.Freq,
-			})
+	const cols = MaxFront - MinFront + 1
+	n := (MaxBack - MinBack + 1) * cols
+	return runner.Map(ctx, n, func(_ context.Context, i int) (WidthPoint, error) {
+		fe, be := MinFront+i%cols, MinBack+i/cols
+		blocks, err := coreBlocks(t, fe, be, true)
+		if err != nil {
+			return WidthPoint{}, err
 		}
-	}
-	return pts, nil
+		period, tp := pipeline.CoreTiming(blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
+		mean, err := MeanIPC(uarchConfig(fe, be, nil))
+		if err != nil {
+			return WidthPoint{}, err
+		}
+		return WidthPoint{
+			Front:   fe,
+			Back:    be,
+			Period:  period,
+			Freq:    tp.Freq,
+			Area:    tp.Area,
+			MeanIPC: mean,
+			Perf:    mean * tp.Freq,
+		}, nil
+	})
 }
 
 // Matrix arranges a width sweep into the paper's M[back][front] layout,

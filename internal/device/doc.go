@@ -1,0 +1,22 @@
+// Package device provides compact transistor models for the organic
+// (pentacene OTFT) and silicon technologies used throughout the
+// reproduction, along with synthetic measurement data calibrated to the
+// paper's published device parameters and least-squares model fitting.
+//
+// All models are expressed in an n-normalized conduction convention: the
+// model computes a non-negative drain current ID(vgs, vds) for vds >= 0
+// where increasing vgs turns the device on harder. Polarity (p-type
+// pentacene vs n-type silicon) is handled by the circuit simulator, which
+// mirrors terminal voltages before calling the model. Units are SI
+// throughout: volts, amperes, meters, farads, seconds.
+//
+// Key entry points: PentaceneGolden and PentaceneMeasurement supply the
+// calibrated device and its synthetic transfer curves (Figure 3);
+// FitLevel1 and FitLevel61 reproduce the Figure 4 model-fit contrast;
+// ExtractDCParams computes the paper's scalar figures of merit (mobility,
+// subthreshold slope, on/off ratio, threshold voltage).
+//
+// Concurrency contract: models and fits are pure functions of their
+// arguments with no package state, so everything here is safe to call
+// from any number of goroutines.
+package device

@@ -1,14 +1,3 @@
-// Package device provides compact transistor models for the organic
-// (pentacene OTFT) and silicon technologies used throughout the
-// reproduction, along with synthetic measurement data calibrated to the
-// paper's published device parameters and least-squares model fitting.
-//
-// All models are expressed in an n-normalized conduction convention: the
-// model computes a non-negative drain current ID(vgs, vds) for vds >= 0
-// where increasing vgs turns the device on harder. Polarity (p-type
-// pentacene vs n-type silicon) is handled by the circuit simulator, which
-// mirrors terminal voltages before calling the model. Units are SI
-// throughout: volts, amperes, meters, farads, seconds.
 package device
 
 import "math"

@@ -1,0 +1,17 @@
+// Package isa defines the 32-bit RISC instruction set used by the
+// reproduction's workloads: encoding, a two-pass assembler, and a
+// functional interpreter that produces the dynamic instruction traces
+// consumed by the cycle-level core model (internal/uarch). It stands in
+// for the SPEC CPU2000 / Dhrystone binaries and the functional side of
+// AnyCore's simulator.
+//
+// Key entry points: Assemble turns assembly source into a Program;
+// NewMachine loads a program into a Machine whose Step method executes
+// one instruction and emits its Trace record; Encode and Decode convert
+// between Inst values and their 32-bit binary form.
+//
+// Concurrency contract: a Machine is single-threaded mutable state —
+// never share one across goroutines — but distinct Machines are fully
+// independent, which is what lets the sweeps simulate many benchmark
+// configurations in parallel. Assemble and Encode/Decode are pure.
+package isa

@@ -1,9 +1,3 @@
-// Package isa defines the 32-bit RISC instruction set used by the
-// reproduction's workloads: encoding, a two-pass assembler, and a
-// functional interpreter that produces the dynamic instruction traces
-// consumed by the cycle-level core model (internal/uarch). It stands in
-// for the SPEC CPU2000 / Dhrystone binaries and the functional side of
-// AnyCore's simulator.
 package isa
 
 import "fmt"

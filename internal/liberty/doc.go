@@ -1,0 +1,18 @@
+// Package liberty holds the characterized standard-cell library data
+// model: non-linear delay model (NLDM) look-up tables indexed by input
+// slew and output load, per-arc timing, per-cell area and input
+// capacitance, and sequential timing for flip-flops. It plays the role
+// of the Liberty (.lib) files produced by SiliconSmart in the paper's
+// flow (Section 4.4).
+//
+// Key entry points: Library.Cell/MustCell look cells up; LUT.At is the
+// bilinear-interpolating table read on every timing-arc evaluation;
+// Library.FO4 is the canonical technology-speed metric; Read and Write
+// (de)serialize the internal text format for the BIODEG_LIBCACHE disk
+// cache, and WriteSynopsys exports real Synopsys .lib syntax.
+//
+// Concurrency contract: a Library and everything it contains is
+// immutable after characterization or Read, so concurrent lookups and
+// LUT evaluations from sweep workers need no locking. Mutating a shared
+// Library is a data race by contract.
+package liberty

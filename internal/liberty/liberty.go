@@ -1,9 +1,3 @@
-// Package liberty holds the characterized standard-cell library data
-// model: non-linear delay model (NLDM) look-up tables indexed by input
-// slew and output load, per-arc timing, per-cell area and input
-// capacitance, and sequential timing for flip-flops. It plays the role
-// of the Liberty (.lib) files produced by SiliconSmart in the paper's
-// flow (Section 4.4).
 package liberty
 
 import (

@@ -1,11 +1,3 @@
-// Package logic provides technology-independent gate-level netlists
-// restricted to the paper's 6-cell library (INV, NAND2, NAND3, NOR2,
-// NOR3, DFF), structural generators for the datapath and control blocks
-// of a superscalar core (adders, multipliers, dividers, bypass networks,
-// issue logic, register files), and functional evaluation for
-// verification. It stands in for the RTL + Design Compiler front end of
-// the paper's flow: experiments consume these netlists through the synth
-// and sta packages.
 package logic
 
 import (

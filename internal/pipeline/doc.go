@@ -1,0 +1,20 @@
+// Package pipeline models pipelining a synthesized combinational block
+// into N stages: balanced partitioning of the critical-path delay
+// profile (the retiming step of the paper's flow), per-stage register
+// overhead from the characterized DFF, and the depth-dependent
+// cross-stage wire cost that differentiates the two technologies
+// (Section 5.5: feedback signals travel farther in deeper pipelines).
+//
+// Key entry points: PointAt pipelines an analyzed block into exactly n
+// stages and SweepDepth walks 1..maxStages (Figure 12); StagedBlock,
+// CutCritical, and CoreTiming implement the multi-block core-depth
+// procedure of Figure 11; PartitionMinMax is the balanced-retiming
+// bound both build on.
+//
+// Concurrency contract: PointAt, PartitionMinMax, and CoreTiming are
+// pure functions of their inputs, so independent depths may be
+// evaluated concurrently (internal/core fans PointAt out over the
+// runner pool); each records a "pipeline" metrics observation.
+// CutCritical mutates its blocks — the cut sequence is inherently
+// serial and must stay on one goroutine.
+package pipeline

@@ -1,15 +1,10 @@
-// Package pipeline models pipelining a synthesized combinational block
-// into N stages: balanced partitioning of the critical-path delay
-// profile (the retiming step of the paper's flow), per-stage register
-// overhead from the characterized DFF, and the depth-dependent
-// cross-stage wire cost that differentiates the two technologies
-// (Section 5.5: feedback signals travel farther in deeper pipelines).
 package pipeline
 
 import (
 	"math"
 
 	"repro/internal/liberty"
+	"repro/internal/runner/metrics"
 	"repro/internal/sta"
 )
 
@@ -108,35 +103,42 @@ func PartitionMinMax(profile []float64, k int) float64 {
 	return realized
 }
 
-// SweepDepth pipelines the analyzed block from 1 to maxStages and
-// reports frequency and area at each depth.
-func SweepDepth(r *sta.Result, dff *liberty.Cell, cfg Config, maxStages int) []Point {
+// PointAt pipelines the analyzed block into exactly n stages. Each
+// depth is independent, so sweeps may evaluate points concurrently.
+func PointAt(r *sta.Result, dff *liberty.Cell, cfg Config, n int) Point {
+	defer metrics.Time(metrics.StagePipeline)()
 	k := cfg.FeedbackK
 	if k == 0 {
 		k = FeedbackK
 	}
 	reg := dff.ClkToQ + dff.Setup
+	logicDelay := PartitionMinMax(r.Profile, n)
+	area := r.CombArea + float64(n*cfg.RankBits)*dff.Area
+	var wire float64
+	if cfg.UseWire {
+		// Stages placed in a row: span grows as sqrt(area*n); the
+		// feedback net is unrepeated RC over that span.
+		span := k * math.Sqrt(area*float64(n))
+		wire = cfg.Wire.Flight(span, 0)
+	}
+	period := logicDelay + reg + wire
+	return Point{
+		Stages:     n,
+		Period:     period,
+		Freq:       1 / period,
+		Area:       area,
+		StageLogic: logicDelay,
+		RegOver:    reg,
+		WireOver:   wire,
+	}
+}
+
+// SweepDepth pipelines the analyzed block from 1 to maxStages and
+// reports frequency and area at each depth.
+func SweepDepth(r *sta.Result, dff *liberty.Cell, cfg Config, maxStages int) []Point {
 	pts := make([]Point, 0, maxStages)
 	for n := 1; n <= maxStages; n++ {
-		logicDelay := PartitionMinMax(r.Profile, n)
-		area := r.CombArea + float64(n*cfg.RankBits)*dff.Area
-		var wire float64
-		if cfg.UseWire {
-			// Stages placed in a row: span grows as sqrt(area*n); the
-			// feedback net is unrepeated RC over that span.
-			span := k * math.Sqrt(area*float64(n))
-			wire = cfg.Wire.Flight(span, 0)
-		}
-		period := logicDelay + reg + wire
-		pts = append(pts, Point{
-			Stages:     n,
-			Period:     period,
-			Freq:       1 / period,
-			Area:       area,
-			StageLogic: logicDelay,
-			RegOver:    reg,
-			WireOver:   wire,
-		})
+		pts = append(pts, PointAt(r, dff, cfg, n))
 	}
 	return pts
 }
@@ -185,6 +187,7 @@ func CutCritical(blocks []*StagedBlock) *StagedBlock {
 // worst per-stage delay across blocks plus register overhead plus the
 // depth-dependent feedback wire cost over the whole core.
 func CoreTiming(blocks []*StagedBlock, dff *liberty.Cell, cfg Config) (period float64, point Point) {
+	defer metrics.Time(metrics.StagePipeline)()
 	k := cfg.FeedbackK
 	if k == 0 {
 		k = FeedbackK

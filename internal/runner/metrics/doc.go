@@ -1,0 +1,14 @@
+// Package metrics is the instrumentation layer of the parallel runner:
+// lock-free per-stage counters and wall-time histograms for the flow's
+// expensive phases (cell characterization, static timing, pipelining,
+// IPC simulation, whole experiments), a settable progress hook, and a
+// plain-text report.
+//
+// Recording is always cheap (atomic adds into power-of-ten latency
+// buckets) and safe from any goroutine. The commands emit Report to
+// stderr when the BIODEG_METRICS environment variable is set to a
+// non-empty value other than "0"; libraries record unconditionally and
+// never print. OnProgress installs a callback fired after every
+// observation — the hook for driving progress bars or log lines from a
+// sweep without touching the sweep code.
+package metrics

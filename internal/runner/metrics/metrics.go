@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names used by the reproduction's hot paths. Free-form strings
+// are equally valid; these constants just keep the spelling consistent
+// across packages.
+const (
+	StageCharacterize = "characterize" // NLDM cell characterization
+	StageSTA          = "sta"          // static timing of one netlist
+	StagePipeline     = "pipeline"     // depth partitioning / core timing
+	StageIPC          = "ipc"          // cycle-level benchmark simulation
+	StageExperiment   = "experiment"   // one registry experiment
+)
+
+// bucketCount covers 1 us .. >=1000 s in power-of-ten buckets.
+const bucketCount = 10
+
+// stageStats is one stage's counters. All fields are atomics so
+// recording never takes a lock.
+type stageStats struct {
+	count   atomic.Int64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+	buckets [bucketCount]atomic.Int64
+}
+
+// bucketIndex maps a duration to its power-of-ten histogram bucket:
+// bucket i counts observations in [10^i us, 10^(i+1) us).
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	i := 0
+	for us >= 10 && i < bucketCount-1 {
+		us /= 10
+		i++
+	}
+	return i
+}
+
+// bucketLabel renders the lower bound of bucket i.
+func bucketLabel(i int) string {
+	switch {
+	case i < 3:
+		return fmt.Sprintf("%dus", pow10(i))
+	case i < 6:
+		return fmt.Sprintf("%dms", pow10(i-3))
+	default:
+		return fmt.Sprintf("%ds", pow10(i-6))
+	}
+}
+
+func pow10(n int) int {
+	v := 1
+	for ; n > 0; n-- {
+		v *= 10
+	}
+	return v
+}
+
+var (
+	mu     sync.Mutex
+	stages = map[string]*stageStats{}
+
+	progress atomic.Pointer[func(stage string, count int64, d time.Duration)]
+)
+
+// stats returns (creating if needed) the named stage's counters.
+func stats(stage string) *stageStats {
+	mu.Lock()
+	s, ok := stages[stage]
+	if !ok {
+		s = &stageStats{}
+		stages[stage] = s
+	}
+	mu.Unlock()
+	return s
+}
+
+// Enabled reports whether the BIODEG_METRICS environment variable asks
+// for the text report (set and not "0").
+func Enabled() bool {
+	v := os.Getenv("BIODEG_METRICS")
+	return v != "" && v != "0"
+}
+
+// Observe records one completed unit of work in a stage: it bumps the
+// stage counter, accumulates wall time into the histogram, and fires
+// the progress hook (if installed) with the new count.
+func Observe(stage string, d time.Duration) {
+	s := stats(stage)
+	n := s.count.Add(1)
+	s.totalNS.Add(int64(d))
+	for {
+		old := s.maxNS.Load()
+		if int64(d) <= old || s.maxNS.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	s.buckets[bucketIndex(d)].Add(1)
+	if fn := progress.Load(); fn != nil {
+		(*fn)(stage, n, d)
+	}
+}
+
+// Time starts a stopwatch for one unit of stage work; the returned
+// function stops it and records the observation:
+//
+//	defer metrics.Time(metrics.StageSTA)()
+func Time(stage string) func() {
+	start := time.Now()
+	return func() { Observe(stage, time.Since(start)) }
+}
+
+// Add bumps a stage's counter by n without timing (for counted events
+// that have no meaningful duration, e.g. cache hits).
+func Add(stage string, n int64) {
+	stats(stage).count.Add(n)
+	if fn := progress.Load(); fn != nil {
+		(*fn)(stage, stats(stage).count.Load(), 0)
+	}
+}
+
+// OnProgress installs fn as the progress hook, called after every
+// Observe/Add with the stage name, its new cumulative count, and the
+// observation's duration (0 for Add). Pass nil to remove the hook. The
+// callback runs on the observing goroutine and must be fast and
+// concurrency-safe.
+func OnProgress(fn func(stage string, count int64, d time.Duration)) {
+	if fn == nil {
+		progress.Store(nil)
+		return
+	}
+	progress.Store(&fn)
+}
+
+// Reset clears all recorded stages (primarily for tests).
+func Reset() {
+	mu.Lock()
+	stages = map[string]*stageStats{}
+	mu.Unlock()
+}
+
+// Snapshot is one stage's totals at a point in time.
+type Snapshot struct {
+	Stage   string
+	Count   int64
+	Total   time.Duration
+	Max     time.Duration
+	Buckets [bucketCount]int64
+}
+
+// Snapshots returns every recorded stage's totals, sorted by stage name.
+func Snapshots() []Snapshot {
+	mu.Lock()
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Snapshot, 0, len(names))
+	for _, name := range names {
+		s := stages[name]
+		snap := Snapshot{
+			Stage: name,
+			Count: s.count.Load(),
+			Total: time.Duration(s.totalNS.Load()),
+			Max:   time.Duration(s.maxNS.Load()),
+		}
+		for i := range snap.Buckets {
+			snap.Buckets[i] = s.buckets[i].Load()
+		}
+		out = append(out, snap)
+	}
+	mu.Unlock()
+	return out
+}
+
+// Report renders the recorded stages as an aligned text table with one
+// histogram line per stage, e.g.
+//
+//	stage         count    total      mean       max
+//	sta              58    42.1s     726ms      2.1s   [1ms:3 10ms:12 ...]
+func Report() string {
+	snaps := Snapshots()
+	if len(snaps) == 0 {
+		return "metrics: nothing recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %10s %10s %10s  histogram (>=bucket lower bound)\n",
+		"stage", "count", "total", "mean", "max")
+	for _, s := range snaps {
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = s.Total / time.Duration(s.Count)
+		}
+		var hist []string
+		for i, c := range s.Buckets {
+			if c > 0 {
+				hist = append(hist, fmt.Sprintf("%s:%d", bucketLabel(i), c))
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %8d %10s %10s %10s  [%s]\n",
+			s.Stage, s.Count, round(s.Total), round(mean), round(s.Max),
+			strings.Join(hist, " "))
+	}
+	return b.String()
+}
+
+// round trims a duration for display.
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveAndReport(t *testing.T) {
+	Reset()
+	Observe(StageSTA, 5*time.Millisecond)
+	Observe(StageSTA, 70*time.Millisecond)
+	Observe(StageIPC, 2*time.Second)
+	snaps := Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d stages, want 2", len(snaps))
+	}
+	// Sorted by name: ipc before sta.
+	if snaps[0].Stage != StageIPC || snaps[1].Stage != StageSTA {
+		t.Fatalf("order: %s, %s", snaps[0].Stage, snaps[1].Stage)
+	}
+	sta := snaps[1]
+	if sta.Count != 2 || sta.Total != 75*time.Millisecond || sta.Max != 70*time.Millisecond {
+		t.Errorf("sta totals wrong: %+v", sta)
+	}
+	rep := Report()
+	for _, want := range []string{"sta", "ipc", "count", "histogram"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{500 * time.Nanosecond, 0},
+		{5 * time.Microsecond, 0},
+		{50 * time.Microsecond, 1},
+		{5 * time.Millisecond, 3},
+		{5 * time.Second, 6},
+		{3 * time.Hour, bucketCount - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestProgressHook(t *testing.T) {
+	Reset()
+	var mu sync.Mutex
+	var events []int64
+	OnProgress(func(stage string, count int64, d time.Duration) {
+		if stage != StagePipeline {
+			return
+		}
+		mu.Lock()
+		events = append(events, count)
+		mu.Unlock()
+	})
+	defer OnProgress(nil)
+	Observe(StagePipeline, time.Millisecond)
+	Observe(StagePipeline, time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 || events[1] != 2 {
+		t.Errorf("progress events = %v, want [1 2]", events)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Observe(StageCharacterize, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snaps := Snapshots()
+	if len(snaps) != 1 || snaps[0].Count != 800 {
+		t.Fatalf("snapshots = %+v, want one stage with count 800", snaps)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	t.Setenv("BIODEG_METRICS", "")
+	if Enabled() {
+		t.Error("enabled with empty env")
+	}
+	t.Setenv("BIODEG_METRICS", "0")
+	if Enabled() {
+		t.Error("enabled with BIODEG_METRICS=0")
+	}
+	t.Setenv("BIODEG_METRICS", "1")
+	if !Enabled() {
+		t.Error("not enabled with BIODEG_METRICS=1")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	Reset()
+	if rep := Report(); !strings.Contains(rep, "nothing recorded") {
+		t.Errorf("empty report = %q", rep)
+	}
+}

@@ -1,0 +1,173 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the worker-pool size: BIODEG_WORKERS when set to a
+// positive integer, else runtime.GOMAXPROCS(0).
+func Workers() int {
+	if s := os.Getenv("BIODEG_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic recovered inside a worker so callers see an
+// ordinary error (with the panicking task's index) instead of a crash.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a bounded worker pool
+// and returns the n results in index order. The first error (or panic,
+// converted to *PanicError) cancels the derived context; tasks not yet
+// started are skipped and Map returns that first error. A cancelled
+// parent context stops the pool promptly with ctx.Err().
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is Map without collected results: it runs fn(ctx, i) for
+// every i in [0, n) on the bounded pool and returns the first error.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := make([]byte, 64<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				fail(&PanicError{Index: i, Value: r, Stack: stack})
+			}
+		}()
+		if err := fn(ctx, i); err != nil {
+			fail(err)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// memoEntry is one in-flight or completed computation.
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Memo is a per-key singleflight cache: the first caller of Do for a
+// key runs the computation while concurrent callers for the same key
+// block on its completion; callers for other keys proceed
+// independently. Successful results are cached for the lifetime of the
+// Memo; errors are returned to every waiter of that flight but not
+// cached, so the next caller retries. The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+// Do returns the cached value for key, or runs fn to compute it.
+func (mm *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	mm.mu.Lock()
+	if mm.m == nil {
+		mm.m = make(map[K]*memoEntry[V])
+	}
+	if e, ok := mm.m[key]; ok {
+		mm.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	mm.m[key] = e
+	mm.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := make([]byte, 64<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				e.err = &PanicError{Value: r, Stack: stack}
+			}
+		}()
+		e.val, e.err = fn()
+	}()
+	if e.err != nil {
+		// Do not cache failures: drop the entry so later calls retry.
+		mm.mu.Lock()
+		delete(mm.m, key)
+		mm.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Len reports the number of cached (successful) entries plus in-flight
+// computations — a cheap observability hook for the metrics report.
+func (mm *Memo[K, V]) Len() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return len(mm.m)
+}

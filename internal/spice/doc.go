@@ -1,0 +1,18 @@
+// Package spice implements a small transistor-level circuit simulator:
+// modified nodal analysis with damped Newton-Raphson DC solution, DC
+// sweeps with continuation, and fixed-step trapezoidal transient
+// analysis. It exists to characterize the organic and silicon standard
+// cells of the reproduction, playing the role HSPICE plays in the paper's
+// flow.
+//
+// Key entry points: NewCircuit builds a Circuit from R/C/V/I/MOS
+// elements; DCOperatingPoint, DCSweep, and Transient are the three
+// analyses; MeasureVTC and the InverterDC metrology derive switching
+// threshold, gain, and MEC noise margins; CrossTime and Slew2080
+// extract delay and slew from transient waveforms.
+//
+// Concurrency contract: a Circuit and its solver state are mutable and
+// single-goroutine, but independent Circuits share nothing — the cell
+// characterization layer exploits this by simulating many grid points
+// in parallel, one freshly built Circuit per simulation.
+package spice

@@ -1,9 +1,3 @@
-// Package spice implements a small transistor-level circuit simulator:
-// modified nodal analysis with damped Newton-Raphson DC solution, DC
-// sweeps with continuation, and fixed-step trapezoidal transient
-// analysis. It exists to characterize the organic and silicon standard
-// cells of the reproduction, playing the role HSPICE plays in the paper's
-// flow.
 package spice
 
 import (

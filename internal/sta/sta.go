@@ -1,8 +1,3 @@
-// Package sta performs NLDM static timing analysis on mapped designs:
-// arrival/slew propagation through the cell look-up tables, a
-// fanout-and-blocksize wire load/delay model, critical path extraction,
-// and minimum clock period computation. The wire model can be disabled
-// to reproduce the paper's zero-wire-cost synthesis (Figure 15).
 package sta
 
 import (
@@ -11,6 +6,7 @@ import (
 
 	"repro/internal/liberty"
 	"repro/internal/logic"
+	"repro/internal/runner/metrics"
 	"repro/internal/synth"
 )
 
@@ -244,6 +240,7 @@ func Analyze(d *synth.Design, w Wire, opt Options) (*Result, error) {
 
 // AnalyzeNetlist maps and analyzes in one step.
 func AnalyzeNetlist(nl *logic.Netlist, lib *liberty.Library, w Wire, opt Options) (*Result, error) {
+	defer metrics.Time(metrics.StageSTA)()
 	d, err := synth.Map(nl, lib)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,16 @@
+// Package synth maps technology-independent gate netlists onto a
+// characterized 6-cell liberty library, accounting for cell area and
+// load-isolation buffering of high-fanout nets. It models the Design
+// Compiler step of the paper's flow at the level the experiments
+// consume: a cell-annotated netlist ready for static timing analysis.
+//
+// Key entry points: Map performs the mapping and returns a Design;
+// Design.BlockDim derives the placed block dimension the wire model
+// uses.
+//
+// Concurrency contract: Map is a pure function of the netlist and
+// library (both read-only here), so any number of mappings may run
+// concurrently; the returned Design is immutable by contract and is
+// cached inside the core package's per-key memo together with its
+// timing result.
+package synth

@@ -1,8 +1,3 @@
-// Package synth maps technology-independent gate netlists onto a
-// characterized 6-cell liberty library, accounting for cell area and
-// load-isolation buffering of high-fanout nets. It models the Design
-// Compiler step of the paper's flow at the level the experiments
-// consume: a cell-annotated netlist ready for static timing analysis.
 package synth
 
 import (

@@ -1,9 +1,3 @@
-// Package uarch is the cycle-level timing model of the AnyCore-style
-// superscalar core: a trace-driven out-of-order simulator with a
-// parameterized front-end width, back-end execution-pipe count, and
-// pipeline depth mapping. It supplies the IPC numbers of the paper's
-// evaluation (Section 5.1), which the core package combines with
-// synthesized clock periods.
 package uarch
 
 import "repro/internal/isa"

@@ -1,0 +1,20 @@
+// Package workload provides the benchmark programs of the reproduction:
+// a Dhrystone-like synthetic plus six kernels with the characteristic
+// control-flow and memory behavior of the paper's SPEC CPU2000 integer
+// selection (bzip2, gap, gzip, mcf, parser, vortex). Each workload is
+// assembled for the internal/isa machine, seeds its own deterministic
+// data, runs a scaled iteration count (the paper uses 100M-instruction
+// SimPoints; we default to ~10^5-10^6 instructions), and verifies its
+// result against a Go reference implementation.
+//
+// Key entry points: All returns the seven workloads in reporting order
+// and ByName looks one up; Workload.NewMachine produces a fresh
+// isa.Machine for simulation; Workload.Run executes functionally and
+// Workload.Verify checks the architectural result checksum.
+//
+// Concurrency contract: workload definitions are immutable after
+// package init, and each NewMachine call returns an independent
+// machine, so concurrent simulations of the same workload are safe
+// (each sweep worker gets its own machine). Program assembly is
+// memoized per workload behind a lock.
+package workload

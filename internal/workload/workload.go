@@ -1,11 +1,3 @@
-// Package workload provides the benchmark programs of the reproduction:
-// a Dhrystone-like synthetic plus six kernels with the characteristic
-// control-flow and memory behavior of the paper's SPEC CPU2000 integer
-// selection (bzip2, gap, gzip, mcf, parser, vortex). Each workload is
-// assembled for the internal/isa machine, seeds its own deterministic
-// data, runs a scaled iteration count (the paper uses 100M-instruction
-// SimPoints; we default to ~10^5-10^6 instructions), and verifies its
-// result against a Go reference implementation.
 package workload
 
 import (

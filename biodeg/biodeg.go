@@ -8,6 +8,7 @@ import (
 	"repro/internal/cells"
 	"repro/internal/core"
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
@@ -103,6 +104,13 @@ func SimulateIPC(bench string, cfg CoreConfig) (uarch.Stats, error) {
 	return core.BenchIPC(bench, cfg)
 }
 
+// SimulateIPCCtx is SimulateIPC with span parenting: a tracing run's
+// root span (from internal/cli) becomes the parent of the simulation
+// span.
+func SimulateIPCCtx(ctx context.Context, bench string, cfg CoreConfig) (uarch.Stats, error) {
+	return core.BenchIPCCtx(ctx, bench, cfg)
+}
+
 // RunWorkload executes a benchmark functionally and checks its result
 // checksum against the Go reference implementation.
 func RunWorkload(bench string) error {
@@ -134,7 +142,7 @@ func RunExperiment(id string) ([]*Table, error) {
 	if e == nil {
 		return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
 	}
-	return e.Run()
+	return e.Run(context.Background())
 }
 
 // RunExperiments runs the named experiments concurrently on the worker
@@ -155,6 +163,19 @@ func RunExperiments(ctx context.Context, ids ...string) ([]ExperimentResult, err
 // RunAll runs the whole registry concurrently, in registry order.
 func RunAll(ctx context.Context) ([]ExperimentResult, error) {
 	return core.RunExperiments(ctx, core.Experiments())
+}
+
+// RecordResults appends each result's provenance — experiment ID,
+// title, wall time, and a SHA-256 digest of every rendered table — to
+// a run manifest (internal/cli fills in the environment half).
+func RecordResults(m *obs.Manifest, results []ExperimentResult) {
+	for _, r := range results {
+		digests := make([]obs.TableDigest, len(r.Tables))
+		for i, t := range r.Tables {
+			digests[i] = obs.TableDigest{Title: t.Title, SHA256: obs.Digest(t.Render())}
+		}
+		m.AddExperiment(r.Experiment.ID, r.Experiment.Title, r.Wall, digests)
+	}
 }
 
 // Parallelism reports the worker-pool size used by the sweeps and the

@@ -24,4 +24,12 @@
 // executes independent paper figures concurrently; set BIODEG_METRICS=1
 // to make the commands print the per-stage wall-time report, or attach
 // OnProgress for live progress callbacks.
+//
+// Observability: the Ctx variants parent their spans (internal/obs) to
+// the span carried by ctx, so a tracing run shows the full
+// run > experiment > sweep > grid-point > sta/ipc tree. The commands
+// expose the sinks as flags (-trace, -jsonl, -manifest, -pprof, each
+// defaulting from the matching BIODEG_* environment variable);
+// RecordResults fills a run manifest with per-experiment wall times
+// and table digests for reproducibility diffing.
 package biodeg

@@ -1,20 +1,24 @@
 // Command archexplore runs the architectural design-space experiments
 // (paper Figures 11-15): ALU and core pipeline-depth sweeps, the
 // superscalar width matrices, and the wire-delay ablation. Selected
-// experiments run concurrently; output stays in selection order. Set
-// BIODEG_METRICS=1 for the per-stage wall-time report on stderr.
+// experiments run concurrently; output stays in selection order.
 //
 // Usage:
 //
-//	archexplore [aludepth|coredepth|width|area|wire|all]
+//	archexplore [common flags] [aludepth|coredepth|width|area|wire|all]
+//
+// Common flags (each defaults from the matching BIODEG_* environment
+// variable; explicit flags win): -workers, -metrics, -libcache,
+// -trace, -jsonl, -manifest, -pprof.
 package main
 
 import (
-	"context"
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/biodeg"
+	"repro/internal/cli"
 )
 
 var byName = map[string]string{
@@ -30,9 +34,11 @@ var byName = map[string]string{
 }
 
 func main() {
+	opts := cli.Register(flag.CommandLine)
+	flag.Parse()
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
 	}
 	var ids []string
 	if which == "all" {
@@ -45,7 +51,12 @@ func main() {
 		}
 		ids = []string{id}
 	}
-	results, err := biodeg.RunExperiments(context.Background(), ids...)
+	run, ctx, err := opts.Start("archexplore")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archexplore: %v\n", err)
+		os.Exit(1)
+	}
+	results, err := biodeg.RunExperiments(ctx, ids...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "archexplore: %v\n", err)
 		os.Exit(1)
@@ -57,5 +68,10 @@ func main() {
 	}
 	if biodeg.MetricsEnabled() {
 		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	}
+	biodeg.RecordResults(run.Manifest, results)
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "archexplore: %v\n", err)
+		os.Exit(1)
 	}
 }

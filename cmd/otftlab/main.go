@@ -5,26 +5,34 @@
 //
 // Usage:
 //
-//	otftlab [fig3|fig4|fig6|fig7|fig8|fig9|all]
+//	otftlab [common flags] [fig3|fig4|fig6|fig7|fig8|fig9|all]
 //	otftlab lib [organic|silicon]   # dump a Synopsys .lib to stdout
+//
+// Common flags (each defaults from the matching BIODEG_* environment
+// variable; explicit flags win): -workers, -metrics, -libcache,
+// -trace, -jsonl, -manifest, -pprof.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/biodeg"
+	"repro/internal/cli"
 	"repro/internal/liberty"
 )
 
 func main() {
+	opts := cli.Register(flag.CommandLine)
+	flag.Parse()
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
 	}
 	if which == "lib" {
 		tech := biodeg.Organic()
-		if len(os.Args) > 2 && os.Args[2] == "silicon" {
+		if flag.NArg() > 1 && flag.Arg(1) == "silicon" {
 			tech = biodeg.Silicon()
 		}
 		if err := liberty.WriteSynopsys(os.Stdout, biodeg.Library(tech)); err != nil {
@@ -37,14 +45,27 @@ func main() {
 	if which != "all" {
 		ids = []string{which}
 	}
-	for _, id := range ids {
-		tables, err := biodeg.RunExperiment(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "otftlab: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		for _, t := range tables {
+	run, ctx, err := opts.Start("otftlab")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otftlab: %v\n", err)
+		os.Exit(1)
+	}
+	results, err := biodeg.RunExperiments(ctx, ids...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otftlab: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		for _, t := range r.Tables {
 			fmt.Println(t.Render())
 		}
+	}
+	if biodeg.MetricsEnabled() {
+		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	}
+	biodeg.RecordResults(run.Manifest, results)
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "otftlab: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,24 +1,50 @@
 // Command replicate runs every experiment of the reproduction in paper
 // order and prints the full paper-vs-measured report (the source of
 // EXPERIMENTS.md). Independent experiments execute concurrently on a
-// worker pool sized by GOMAXPROCS (override with BIODEG_WORKERS);
-// output stays in registry order and is identical to a serial run. Set
-// BIODEG_METRICS=1 to append the per-stage wall-time report on stderr,
-// and BIODEG_LIBCACHE=<dir> to skip re-characterization across runs.
+// worker pool; output stays in registry order and is identical to a
+// serial run.
+//
+// Usage:
+//
+//	replicate [-only fig3,fig11,...] [common flags]
+//
+// Common flags (each defaults from the matching BIODEG_* environment
+// variable; explicit flags win): -workers, -metrics, -libcache,
+// -trace, -jsonl, -manifest, -pprof.
 package main
 
 import (
-	"context"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/biodeg"
+	"repro/internal/cli"
 )
 
 func main() {
+	opts := cli.Register(flag.CommandLine)
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all, in registry order)")
+	flag.Parse()
+	run, ctx, err := opts.Start("replicate")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+		os.Exit(1)
+	}
+
 	start := time.Now()
-	results, err := biodeg.RunAll(context.Background())
+	var results []biodeg.ExperimentResult
+	if *only != "" {
+		ids := strings.Split(*only, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+		results, err = biodeg.RunExperiments(ctx, ids...)
+	} else {
+		results, err = biodeg.RunAll(ctx)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
 		os.Exit(1)
@@ -33,5 +59,10 @@ func main() {
 	fmt.Printf("total runtime: %v\n", time.Since(start))
 	if biodeg.MetricsEnabled() {
 		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	}
+	biodeg.RecordResults(run.Manifest, results)
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
 	"repro/internal/spice"
@@ -42,13 +43,17 @@ var libMemo runner.Memo[string, *liberty.Library]
 // or read errors).
 func Library(t *Technology) *liberty.Library {
 	lib, err := libMemo.Do(t.Name, func() (*liberty.Library, error) {
+		ctx, sp := obs.Start(context.Background(), "characterize-library", obs.KV("tech", t.Name))
+		defer sp.End()
 		cacheDir := os.Getenv("BIODEG_LIBCACHE")
 		if cacheDir != "" {
 			if lib, err := loadLibraryFile(filepath.Join(cacheDir, t.Name+".lib")); err == nil {
+				sp.Set("cache", "hit")
 				return lib, nil
 			}
 		}
-		lib, err := Characterize(t, DefaultCharConfig())
+		sp.Set("cache", "miss")
+		lib, err := CharacterizeCtx(ctx, t, DefaultCharConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -97,6 +102,13 @@ func saveLibraryFile(path string, lib *liberty.Library) error {
 // Characterize runs the full NLDM flow for every prototype cell and
 // derives the DFF timing, mirroring the SiliconSmart step of the paper.
 func Characterize(t *Technology, cfg CharConfig) (*liberty.Library, error) {
+	return CharacterizeCtx(context.Background(), t, cfg)
+}
+
+// CharacterizeCtx is Characterize with cancellation and span parenting:
+// each cell's characterization runs in its own "characterize" span
+// under the span carried by ctx.
+func CharacterizeCtx(ctx context.Context, t *Technology, cfg CharConfig) (*liberty.Library, error) {
 	lib := &liberty.Library{
 		Name:  t.Name,
 		VDD:   t.VDD,
@@ -121,8 +133,11 @@ func Characterize(t *Technology, cfg CharConfig) (*liberty.Library, error) {
 		loads[i] = m * invCap
 	}
 	// Cells are independent; characterize them on the worker pool.
-	cellsOut, err := runner.Map(context.Background(), len(t.Protos), func(_ context.Context, i int) (*liberty.Cell, error) {
-		defer metrics.Time(metrics.StageCharacterize)()
+	cellsOut, err := runner.Map(ctx, len(t.Protos), func(ctx context.Context, i int) (*liberty.Cell, error) {
+		_, sp := obs.Start(ctx, "characterize",
+			obs.KV("tech", t.Name), obs.KV("cell", t.Protos[i].Name),
+			obs.Stage(metrics.StageCharacterize))
+		defer sp.End()
 		cell, err := characterizeCell(t, t.Protos[i], slews, loads, cfg.Steps)
 		if err != nil {
 			return nil, fmt.Errorf("cells: %s/%s: %w", t.Name, t.Protos[i].Name, err)

@@ -1,0 +1,170 @@
+// Package cli is the shared flag surface of the reproduction's
+// commands. Every knob is a flag whose default comes from the matching
+// BIODEG_* environment variable, so precedence is flag > env > built-in
+// default; Options.Start republishes the effective values into the
+// environment so packages that read env at use time (runner.Workers,
+// metrics.Enabled, the library disk cache) observe the flags too.
+//
+// Start also turns on the observability sinks requested by the flags:
+// span tracing (internal/obs) when a trace, JSONL, or manifest output
+// is named, and a net/http/pprof server when -pprof gives an address.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Options is the parsed common flag set.
+type Options struct {
+	Workers  int    // -workers  / BIODEG_WORKERS
+	Metrics  bool   // -metrics  / BIODEG_METRICS
+	LibCache string // -libcache / BIODEG_LIBCACHE
+	Trace    string // -trace    / BIODEG_TRACE
+	JSONL    string // -jsonl    / BIODEG_TRACE_JSONL
+	Manifest string // -manifest / BIODEG_MANIFEST
+	Pprof    string // -pprof    / BIODEG_PPROF
+}
+
+// envBool mirrors metrics.Enabled's parsing: set and not "0" is true.
+func envBool(key string) bool {
+	v := os.Getenv(key)
+	return v != "" && v != "0"
+}
+
+// envInt returns the env var as a positive integer, else def.
+func envInt(key string, def int) int {
+	if s := os.Getenv(key); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// Register installs the common flags on fs with env-derived defaults
+// and returns the Options the parsed values land in. Call fs.Parse (or
+// flag.Parse for the default set), then Options.Start.
+func Register(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.IntVar(&o.Workers, "workers", envInt("BIODEG_WORKERS", 0),
+		"worker-pool size, 0 = GOMAXPROCS (env BIODEG_WORKERS)")
+	fs.BoolVar(&o.Metrics, "metrics", envBool("BIODEG_METRICS"),
+		"print the per-stage wall-time report to stderr (env BIODEG_METRICS)")
+	fs.StringVar(&o.LibCache, "libcache", os.Getenv("BIODEG_LIBCACHE"),
+		"directory caching characterized libraries across runs (env BIODEG_LIBCACHE)")
+	fs.StringVar(&o.Trace, "trace", os.Getenv("BIODEG_TRACE"),
+		"write a Chrome trace_event JSON file for chrome://tracing or Perfetto (env BIODEG_TRACE)")
+	fs.StringVar(&o.JSONL, "jsonl", os.Getenv("BIODEG_TRACE_JSONL"),
+		"write the span stream as JSON Lines (env BIODEG_TRACE_JSONL)")
+	fs.StringVar(&o.Manifest, "manifest", os.Getenv("BIODEG_MANIFEST"),
+		"write a run manifest: environment, knobs, per-experiment wall time, table digests (env BIODEG_MANIFEST)")
+	fs.StringVar(&o.Pprof, "pprof", os.Getenv("BIODEG_PPROF"),
+		"serve net/http/pprof on this address, e.g. localhost:6060 (env BIODEG_PPROF)")
+	return o
+}
+
+// Run is one observed command invocation: the root span every
+// instrumented call tree hangs off, and the manifest the command fills
+// in as experiments complete. Create with Options.Start, finish with
+// Run.Finish.
+type Run struct {
+	Opts     *Options
+	Manifest *obs.Manifest
+	root     *obs.Span
+	start    time.Time
+}
+
+// Start applies the parsed options — republishing them into the
+// BIODEG_* environment, enabling span tracing if any sink wants it,
+// and starting the pprof server — and opens the run's root span. It
+// returns the Run and a context carrying the root span.
+func (o *Options) Start(tool string) (*Run, context.Context, error) {
+	// Republish flag values so env-reading packages see the effective
+	// configuration (and so the manifest's env block records it).
+	setenv("BIODEG_WORKERS", positive(o.Workers))
+	setenv("BIODEG_METRICS", boolEnv(o.Metrics))
+	setenv("BIODEG_LIBCACHE", o.LibCache)
+	setenv("BIODEG_TRACE", o.Trace)
+	setenv("BIODEG_TRACE_JSONL", o.JSONL)
+	setenv("BIODEG_MANIFEST", o.Manifest)
+	setenv("BIODEG_PPROF", o.Pprof)
+	if o.Trace != "" || o.JSONL != "" || o.Manifest != "" {
+		obs.Enable()
+	}
+	if o.Pprof != "" {
+		ln, err := net.Listen("tcp", o.Pprof)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: pprof listen: %w", err)
+		}
+		srv := &http.Server{}
+		go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
+	}
+	m := obs.NewManifest(tool)
+	m.Workers = runner.Workers()
+	ctx, root := obs.Start(context.Background(), "run", obs.KV("tool", tool))
+	return &Run{Opts: o, Manifest: m, root: root, start: time.Now()}, ctx, nil
+}
+
+// Finish ends the root span and writes every requested sink. It
+// returns the first write error; the command should report it and exit
+// non-zero, since a missing trace the user asked for is a failure.
+func (r *Run) Finish() error {
+	r.root.End()
+	o := r.Opts
+	if o.Trace == "" && o.JSONL == "" && o.Manifest == "" {
+		return nil
+	}
+	t := obs.Collect()
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.Trace != "" {
+		keep(obs.WriteFileChrome(o.Trace, t))
+	}
+	if o.JSONL != "" {
+		keep(obs.WriteFileJSONL(o.JSONL, t))
+	}
+	if o.Manifest != "" {
+		r.Manifest.Spans = len(t.Spans)
+		r.Manifest.Dropped = t.Dropped
+		r.Manifest.TotalWallMS = float64(time.Since(r.start).Nanoseconds()) / 1e6
+		keep(r.Manifest.WriteFile(o.Manifest))
+	}
+	return firstErr
+}
+
+func setenv(key, value string) {
+	if value == "" {
+		os.Unsetenv(key)
+		return
+	}
+	os.Setenv(key, value)
+}
+
+func positive(n int) string {
+	if n > 0 {
+		return strconv.Itoa(n)
+	}
+	return ""
+}
+
+func boolEnv(b bool) string {
+	if b {
+		return "1"
+	}
+	return ""
+}

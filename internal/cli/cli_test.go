@@ -1,0 +1,122 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// register parses args against a fresh flag set.
+func register(t *testing.T, args ...string) *Options {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// pinEnv registers cleanup for every env var Start republishes, so
+// tests cannot leak configuration into each other.
+func pinEnv(t *testing.T) {
+	t.Helper()
+	for _, k := range []string{
+		"BIODEG_WORKERS", "BIODEG_METRICS", "BIODEG_LIBCACHE",
+		"BIODEG_TRACE", "BIODEG_TRACE_JSONL", "BIODEG_MANIFEST", "BIODEG_PPROF",
+	} {
+		t.Setenv(k, os.Getenv(k))
+		os.Unsetenv(k)
+	}
+	t.Cleanup(obs.Disable)
+}
+
+func TestEnvProvidesDefaults(t *testing.T) {
+	pinEnv(t)
+	t.Setenv("BIODEG_WORKERS", "5")
+	t.Setenv("BIODEG_METRICS", "1")
+	t.Setenv("BIODEG_LIBCACHE", "/tmp/libs")
+	o := register(t)
+	if o.Workers != 5 || !o.Metrics || o.LibCache != "/tmp/libs" {
+		t.Errorf("env defaults not picked up: %+v", o)
+	}
+}
+
+func TestFlagsOverrideEnv(t *testing.T) {
+	pinEnv(t)
+	t.Setenv("BIODEG_WORKERS", "5")
+	t.Setenv("BIODEG_METRICS", "1")
+	o := register(t, "-workers", "2", "-metrics=false")
+	if o.Workers != 2 || o.Metrics {
+		t.Errorf("flags should beat env: %+v", o)
+	}
+	run, _, err := o.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Finish()
+	// Start republishes the effective values so env readers agree.
+	if got := os.Getenv("BIODEG_WORKERS"); got != "2" {
+		t.Errorf("BIODEG_WORKERS = %q after Start, want 2", got)
+	}
+	if got := os.Getenv("BIODEG_METRICS"); got != "" {
+		t.Errorf("BIODEG_METRICS = %q after Start, want unset", got)
+	}
+	if run.Manifest.Workers != 2 {
+		t.Errorf("manifest workers = %d, want 2", run.Manifest.Workers)
+	}
+}
+
+func TestStartEnablesSinksAndFinishWrites(t *testing.T) {
+	pinEnv(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	manifestPath := filepath.Join(dir, "m.json")
+	o := register(t, "-trace", tracePath, "-manifest", manifestPath)
+	run, ctx, err := o.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("tracing should be enabled when -trace is set")
+	}
+	if obs.FromContext(ctx) == nil {
+		t.Fatal("Start context should carry the root span")
+	}
+	_, sp := obs.Start(ctx, "unit")
+	sp.End()
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("trace file not written: %v", err)
+	}
+	m, err := obs.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest not readable: %v", err)
+	}
+	if m.Tool != "test" || m.Spans < 2 {
+		t.Errorf("manifest = tool %q, %d spans; want test, >=2", m.Tool, m.Spans)
+	}
+}
+
+func TestNoSinksMeansNoTracing(t *testing.T) {
+	pinEnv(t)
+	o := register(t)
+	run, ctx, err := o.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Error("tracing should stay off without trace/jsonl/manifest flags")
+	}
+	if obs.FromContext(ctx) != nil {
+		t.Error("disabled run context should carry no span")
+	}
+	if err := run.Finish(); err != nil {
+		t.Errorf("Finish with no sinks: %v", err)
+	}
+}

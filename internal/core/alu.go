@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/sta"
@@ -23,15 +24,16 @@ var (
 )
 
 // aluResult analyzes (with caching) the 32-bit complex ALU for one
-// technology and wire mode.
-func aluResult(t *Tech, wire bool) (*sta.Result, error) {
+// technology and wire mode. The first requester's span (via ctx)
+// becomes the parent of the shared analysis span.
+func aluResult(ctx context.Context, t *Tech, wire bool) (*sta.Result, error) {
 	key := t.Name
 	if !wire {
 		key += "-nowire"
 	}
 	return aluMemo.Do(key, func() (*sta.Result, error) {
 		aluNetOnce.Do(func() { aluNet = logic.BuildComplexALU(dataWidth) })
-		return sta.AnalyzeNetlist(aluNet, t.Lib, t.Wire, sta.Options{UseWire: wire})
+		return sta.AnalyzeNetlistCtx(ctx, aluNet, t.Lib, t.Wire, sta.Options{UseWire: wire})
 	})
 }
 
@@ -57,9 +59,13 @@ func ALUDepthSweepK(t *Tech, maxStages int, wire bool, feedbackK float64) ([]pip
 // aluDepthSweep analyzes the ALU once (cached) and partitions each
 // depth independently on the worker pool; per-depth points depend only
 // on their stage count, so the parallel sweep is bit-identical to the
-// serial one.
+// serial one. The whole sweep runs under one "sweep:aludepth" span,
+// with one grid-point span per depth.
 func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedbackK float64) ([]pipeline.Point, error) {
-	res, err := aluResult(t, wire)
+	ctx, sp := obs.Start(ctx, "sweep:aludepth",
+		obs.KV("tech", t.Name), obs.Bool("wire", wire), obs.Int("max_stages", maxStages))
+	defer sp.End()
+	res, err := aluResult(ctx, t, wire)
 	if err != nil {
 		return nil, err
 	}
@@ -70,14 +76,16 @@ func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedb
 		FeedbackK: feedbackK,
 	}
 	dff := t.DFF()
-	return runner.Map(ctx, maxStages, func(_ context.Context, i int) (pipeline.Point, error) {
-		return pipeline.PointAt(res, dff, cfg, i+1), nil
+	return runner.Map(ctx, maxStages, func(ctx context.Context, i int) (pipeline.Point, error) {
+		return pipeline.PointAt(ctx, res, dff, cfg, i+1), nil
 	})
 }
 
 // ALUResult exposes the analyzed complex-ALU timing (for the
 // partitioning ablation bench).
-func ALUResult(t *Tech, wire bool) (*sta.Result, error) { return aluResult(t, wire) }
+func ALUResult(t *Tech, wire bool) (*sta.Result, error) {
+	return aluResult(context.Background(), t, wire)
+}
 
 // NormalizePoints scales frequency and area to the 1-stage entry.
 func NormalizePoints(pts []pipeline.Point) (freq, area []float64) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -275,7 +276,7 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	// The cheap device experiments must run end to end.
 	for _, id := range []string{"fig3", "fig4"} {
-		tables, err := ExperimentByID(id).Run()
+		tables, err := ExperimentByID(id).Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -309,7 +310,7 @@ func TestStageBlocksSane(t *testing.T) {
 		t.Skip("characterization is expensive")
 	}
 	for _, tech := range BothTechs() {
-		blocks, err := coreBlocks(tech, 2, 4, true)
+		blocks, err := coreBlocks(context.Background(), tech, 2, 4, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -325,7 +326,7 @@ func TestStageBlocksSane(t *testing.T) {
 			}
 		}
 		// Issue should be among the heaviest stages at baseline widths.
-		_, tp := pipeline.CoreTiming(blocks, tech.DFF(), pipeline.Config{Wire: tech.Wire, UseWire: true})
+		_, tp := pipeline.CoreTiming(context.Background(), blocks, tech.DFF(), pipeline.Config{Wire: tech.Wire, UseWire: true})
 		if tp.Freq <= 0 {
 			t.Errorf("%s: bad core timing", tech.Name)
 		}

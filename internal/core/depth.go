@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/uarch"
@@ -39,8 +40,12 @@ func CoreDepthSweep(t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, e
 // out over the worker pool as depth x benchmark tasks. Results are
 // assembled by index and are bit-identical to the serial sweep.
 func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, error) {
+	ctx, sweepSpan := obs.Start(ctx, "sweep:coredepth",
+		obs.KV("tech", t.Name), obs.Bool("wire", wire),
+		obs.Int("min_depth", minDepth), obs.Int("max_depth", maxDepth))
+	defer sweepSpan.End()
 	const fe, be = 1, 3
-	blocks, err := coreBlocks(t, fe, be, wire)
+	blocks, err := coreBlocks(ctx, t, fe, be, wire)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +60,7 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 		if depth < minDepth {
 			continue
 		}
-		period, tp := pipeline.CoreTiming(blocks, dff, cfg)
+		period, tp := pipeline.CoreTiming(ctx, blocks, dff, cfg)
 		cuts := map[StageName]int{}
 		for i, b := range blocks {
 			cuts[StageName(i)] = b.Cuts
@@ -72,11 +77,14 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 		})
 	}
 	// Simulate every (depth, benchmark) pair concurrently, then fill the
-	// per-point maps in order.
+	// per-point maps in order. Each pair is one grid-point span.
 	benches := Benchmarks()
-	stats, err := runner.Map(ctx, len(pts)*len(benches), func(_ context.Context, i int) (uarch.Stats, error) {
-		pt := pts[i/len(benches)]
-		return BenchIPC(benches[i%len(benches)], uarchConfig(fe, be, pt.Cuts))
+	stats, err := runner.Map(ctx, len(pts)*len(benches), func(ctx context.Context, i int) (uarch.Stats, error) {
+		pt, bench := pts[i/len(benches)], benches[i%len(benches)]
+		ctx, sp := obs.Start(ctx, "depth-point",
+			obs.Int("depth", pt.Depth), obs.KV("bench", bench))
+		defer sp.End()
+		return BenchIPCCtx(ctx, bench, uarchConfig(fe, be, pt.Cuts))
 	})
 	if err != nil {
 		return nil, err

@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Energy extension (the paper's Section 7 names energy optimization as
 // future work): estimate energy per instruction across pipeline depths
 // using the characterized per-cell static power and switching energy.
@@ -32,7 +34,13 @@ type EnergyPoint struct {
 // help organic energy as well as performance. Silicon is
 // dynamic-dominated and far less depth-sensitive.
 func EnergySweep(t *Tech, minDepth, maxDepth int) ([]EnergyPoint, error) {
-	pts, err := CoreDepthSweep(t, minDepth, maxDepth, true)
+	return EnergySweepCtx(context.Background(), t, minDepth, maxDepth)
+}
+
+// EnergySweepCtx is EnergySweep with cancellation and span parenting
+// for the underlying depth sweep.
+func EnergySweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int) ([]EnergyPoint, error) {
+	pts, err := CoreDepthSweepCtx(ctx, t, minDepth, maxDepth, true)
 	if err != nil {
 		return nil, err
 	}

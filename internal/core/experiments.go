@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cells"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
 )
@@ -16,31 +18,35 @@ type Experiment struct {
 	ID    string // e.g. "fig3"
 	Title string
 	Paper string // what the paper reports (target shape)
-	Run   func() ([]*Table, error)
+	Run   func(ctx context.Context) ([]*Table, error)
 }
 
 // ExperimentResult pairs an experiment with its rendered tables.
 type ExperimentResult struct {
 	Experiment *Experiment
 	Tables     []*Table
+	Wall       time.Duration // wall-clock time of this experiment's Run
 }
 
 // RunExperiments executes the given experiments concurrently on the
 // worker pool (the registry's figures are independent; their shared
 // heavy intermediates are deduplicated by the memo caches) and returns
 // results in input order. The first failing experiment cancels the
-// rest; experiments not yet started are skipped. Each completed
-// experiment records a metrics observation under the "experiment"
-// stage.
+// rest; experiments not yet started are skipped. Each experiment runs
+// under an "experiment" span whose duration feeds the "experiment"
+// metrics stage; nested sweeps and analyses parent to it.
 func RunExperiments(ctx context.Context, exps []*Experiment) ([]ExperimentResult, error) {
-	return runner.Map(ctx, len(exps), func(_ context.Context, i int) (ExperimentResult, error) {
+	return runner.Map(ctx, len(exps), func(ctx context.Context, i int) (ExperimentResult, error) {
 		e := exps[i]
-		defer metrics.Time(metrics.StageExperiment)()
-		tables, err := e.Run()
+		ctx, sp := obs.Start(ctx, "experiment",
+			obs.KV("experiment", e.ID), obs.Stage(metrics.StageExperiment))
+		defer sp.End()
+		start := time.Now()
+		tables, err := e.Run(ctx)
 		if err != nil {
 			return ExperimentResult{}, fmt.Errorf("%s: %w", e.ID, err)
 		}
-		return ExperimentResult{Experiment: e, Tables: tables}, nil
+		return ExperimentResult{Experiment: e, Tables: tables, Wall: time.Since(start)}, nil
 	})
 }
 
@@ -150,7 +156,7 @@ func ExperimentByID(id string) *Experiment {
 	return nil
 }
 
-func runFig3() ([]*Table, error) {
+func runFig3(_ context.Context) ([]*Table, error) {
 	geom := device.PentaceneGeometry()
 	var tables []*Table
 	for _, curve := range device.PentaceneMeasurement() {
@@ -174,7 +180,7 @@ func runFig3() ([]*Table, error) {
 	return tables, nil
 }
 
-func runFig4() ([]*Table, error) {
+func runFig4(_ context.Context) ([]*Table, error) {
 	curves := []device.TransferCurve{
 		device.SynthesizeTransfer(device.PentaceneGolden(), 1, 81, 0.03),
 	}
@@ -193,7 +199,7 @@ func runFig4() ([]*Table, error) {
 	}}, nil
 }
 
-func runFig6() ([]*Table, error) {
+func runFig6(_ context.Context) ([]*Table, error) {
 	type styleCfg struct {
 		name  string
 		style cells.InverterStyle
@@ -221,7 +227,7 @@ func runFig6() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runFig7() ([]*Table, error) {
+func runFig7(_ context.Context) ([]*Table, error) {
 	t := &Table{
 		Title: "fig7: pseudo-E inverter across VDD",
 		Cols:  []string{"VSS (V)", "VM (V)", "gain", "NMH (V)", "NML (V)", "P(in=0) uW", "P(in=VDD) uW"},
@@ -239,7 +245,7 @@ func runFig7() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runFig8() ([]*Table, error) {
+func runFig8(_ context.Context) ([]*Table, error) {
 	vss := []float64{-20, -17.5, -15, -12.5, -10}
 	vms, slope, intercept, err := cells.VMVersusVSS(5, vss, 121)
 	if err != nil {
@@ -259,7 +265,7 @@ func runFig8() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runFig9() ([]*Table, error) {
+func runFig9(_ context.Context) ([]*Table, error) {
 	var tables []*Table
 	for _, tech := range BothTechs() {
 		lib := tech.Lib
@@ -286,10 +292,10 @@ func runFig9() ([]*Table, error) {
 	return tables, nil
 }
 
-func runFig12() ([]*Table, error) {
+func runFig12(ctx context.Context) ([]*Table, error) {
 	var tables []*Table
 	for _, tech := range BothTechs() {
-		pts, err := ALUDepthSweep(tech, 30, true)
+		pts, err := ALUDepthSweepCtx(ctx, tech, 30, true)
 		if err != nil {
 			return nil, err
 		}
@@ -316,10 +322,10 @@ func runFig12() ([]*Table, error) {
 	return tables, nil
 }
 
-func runFig11() ([]*Table, error) {
+func runFig11(ctx context.Context) ([]*Table, error) {
 	var tables []*Table
 	for _, tech := range BothTechs() {
-		pts, err := CoreDepthSweep(tech, 9, 15, true)
+		pts, err := CoreDepthSweepCtx(ctx, tech, 9, 15, true)
 		if err != nil {
 			return nil, err
 		}
@@ -348,8 +354,8 @@ func runFig11() ([]*Table, error) {
 	return tables, nil
 }
 
-func widthTable(tech *Tech, area bool) (*Table, error) {
-	pts, err := WidthSweep(tech)
+func widthTable(ctx context.Context, tech *Tech, area bool) (*Table, error) {
+	pts, err := WidthSweepCtx(ctx, tech)
 	if err != nil {
 		return nil, err
 	}
@@ -376,10 +382,10 @@ func widthTable(tech *Tech, area bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig13() ([]*Table, error) {
+func runFig13(ctx context.Context) ([]*Table, error) {
 	var tables []*Table
 	for _, tech := range BothTechs() {
-		t, err := widthTable(tech, false)
+		t, err := widthTable(ctx, tech, false)
 		if err != nil {
 			return nil, err
 		}
@@ -388,10 +394,10 @@ func runFig13() ([]*Table, error) {
 	return tables, nil
 }
 
-func runFig14() ([]*Table, error) {
+func runFig14(ctx context.Context) ([]*Table, error) {
 	var tables []*Table
 	for _, tech := range BothTechs() {
-		t, err := widthTable(tech, true)
+		t, err := widthTable(ctx, tech, true)
 		if err != nil {
 			return nil, err
 		}
@@ -400,7 +406,7 @@ func runFig14() ([]*Table, error) {
 	return tables, nil
 }
 
-func runFig15() ([]*Table, error) {
+func runFig15(ctx context.Context) ([]*Table, error) {
 	var tables []*Table
 	// (a) ALU frequency with/without wire.
 	ta := &Table{
@@ -411,7 +417,7 @@ func runFig15() ([]*Table, error) {
 	var series [][]float64
 	for _, tech := range BothTechs() {
 		for _, wire := range []bool{true, false} {
-			pts, err := ALUDepthSweep(tech, 30, wire)
+			pts, err := ALUDepthSweepCtx(ctx, tech, 30, wire)
 			if err != nil {
 				return nil, err
 			}
@@ -434,7 +440,7 @@ func runFig15() ([]*Table, error) {
 	var coreSeries [][]float64
 	for _, tech := range BothTechs() {
 		for _, wire := range []bool{true, false} {
-			pts, err := CoreDepthSweep(tech, 9, 15, wire)
+			pts, err := CoreDepthSweepCtx(ctx, tech, 9, 15, wire)
 			if err != nil {
 				return nil, err
 			}
@@ -454,7 +460,7 @@ func runFig15() ([]*Table, error) {
 	return tables, nil
 }
 
-func runVariation() ([]*Table, error) {
+func runVariation(_ context.Context) ([]*Table, error) {
 	shifts := []float64{-0.25, -0.125, 0, 0.125, 0.25}
 	pts, err := cells.VariationTrim(5, -15, shifts, 121)
 	if err != nil {
@@ -487,7 +493,7 @@ func runVariation() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runDynamic() ([]*Table, error) {
+func runDynamic(_ context.Context) ([]*Table, error) {
 	res, err := cells.AnalyzeDynamicOr(5, -15)
 	if err != nil {
 		return nil, err
@@ -509,10 +515,10 @@ func runDynamic() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runEnergy() ([]*Table, error) {
+func runEnergy(ctx context.Context) ([]*Table, error) {
 	var tables []*Table
 	for _, tech := range BothTechs() {
-		pts, err := EnergySweep(tech, 9, 15)
+		pts, err := EnergySweepCtx(ctx, tech, 9, 15)
 		if err != nil {
 			return nil, err
 		}
@@ -537,7 +543,7 @@ func runEnergy() ([]*Table, error) {
 	return tables, nil
 }
 
-func runAbsFreq() ([]*Table, error) {
+func runAbsFreq(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		Title: "sec5.3: absolute core frequencies",
 		Cols:  []string{"baseline 9-stage (Hz)", "best swept depth (Hz)", "ratio"},
@@ -548,7 +554,7 @@ func runAbsFreq() ([]*Table, error) {
 			"optimized' appears to be a typo (optimized must exceed baseline).",
 	}
 	for _, tech := range BothTechs() {
-		pts, err := CoreDepthSweep(tech, 9, 15, true)
+		pts, err := CoreDepthSweepCtx(ctx, tech, 9, 15, true)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
 	"repro/internal/uarch"
@@ -40,8 +42,19 @@ var ipcMemo runner.Memo[ipcKey, uarch.Stats]
 // BenchIPC runs (with caching) one workload through the cycle-level
 // model and returns its statistics.
 func BenchIPC(bench string, cfg uarch.Config) (uarch.Stats, error) {
+	return BenchIPCCtx(context.Background(), bench, cfg)
+}
+
+// BenchIPCCtx is BenchIPC with span parenting: a cache miss simulates
+// under an "ipc" span (and metrics observation) parented to the first
+// requester's span.
+func BenchIPCCtx(ctx context.Context, bench string, cfg uarch.Config) (uarch.Stats, error) {
 	return ipcMemo.Do(ipcKey{bench, cfg}, func() (uarch.Stats, error) {
-		defer metrics.Time(metrics.StageIPC)()
+		_, sp := obs.Start(ctx, "ipc",
+			obs.KV("bench", bench),
+			obs.Int("fe", cfg.FrontWidth), obs.Int("be", cfg.BackWidth),
+			obs.Stage(metrics.StageIPC))
+		defer sp.End()
 		w := workload.ByName(bench)
 		if w == nil {
 			return uarch.Stats{}, fmt.Errorf("core: unknown benchmark %q", bench)
@@ -75,10 +88,16 @@ func Benchmarks() []string {
 // MeanIPC averages IPC over all benchmarks for one configuration (the
 // metric behind Figure 13).
 func MeanIPC(cfg uarch.Config) (float64, error) {
+	return MeanIPCCtx(context.Background(), cfg)
+}
+
+// MeanIPCCtx is MeanIPC with span parenting for the per-benchmark
+// simulations.
+func MeanIPCCtx(ctx context.Context, cfg uarch.Config) (float64, error) {
 	var sum float64
 	names := Benchmarks()
 	for _, b := range names {
-		st, err := BenchIPC(b, cfg)
+		st, err := BenchIPCCtx(ctx, b, cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -18,11 +18,11 @@ func serialWidthSweep(t *Tech) ([]WidthPoint, error) {
 	dff := t.DFF()
 	for be := MinBack; be <= MaxBack; be++ {
 		for fe := MinFront; fe <= MaxFront; fe++ {
-			blocks, err := coreBlocks(t, fe, be, true)
+			blocks, err := coreBlocks(context.Background(), t, fe, be, true)
 			if err != nil {
 				return nil, err
 			}
-			period, tp := pipeline.CoreTiming(blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
+			period, tp := pipeline.CoreTiming(context.Background(), blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
 			mean, err := MeanIPC(uarchConfig(fe, be, nil))
 			if err != nil {
 				return nil, err
@@ -122,7 +122,7 @@ func TestRunExperimentsOrderAndErrors(t *testing.T) {
 	}
 	// A failing experiment surfaces its ID in the error.
 	boom := &Experiment{ID: "boom", Title: "t", Paper: "p",
-		Run: func() ([]*Table, error) { return nil, errors.New("exploded") }}
+		Run: func(context.Context) ([]*Table, error) { return nil, errors.New("exploded") }}
 	if _, err := RunExperiments(context.Background(), []*Experiment{boom}); err == nil ||
 		!strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v, want wrapped experiment ID", err)

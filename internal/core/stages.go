@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logic"
@@ -222,7 +223,8 @@ var stageMemo runner.Memo[stageKey, *sta.Result]
 // analyzeStage synthesizes and times one stage netlist for a technology.
 // Each stage depends on only one of the two widths; the other is zeroed
 // in the cache key so width sweeps reuse timing across configurations.
-func analyzeStage(t *Tech, s StageName, fe, be int, wire bool) (*sta.Result, error) {
+// The first requester's span (via ctx) parents the shared STA span.
+func analyzeStage(ctx context.Context, t *Tech, s StageName, fe, be int, wire bool) (*sta.Result, error) {
 	switch s {
 	case StFetch, StDecode, StRename, StDispatch, StRetire:
 		be = 0
@@ -232,7 +234,7 @@ func analyzeStage(t *Tech, s StageName, fe, be int, wire bool) (*sta.Result, err
 	key := stageKey{t.Name, s, fe, be, wire}
 	return stageMemo.Do(key, func() (*sta.Result, error) {
 		nl := buildStage(s, fe, be)
-		res, err := sta.AnalyzeNetlist(nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
+		res, err := sta.AnalyzeNetlistCtx(ctx, nl, t.Lib, t.Wire, sta.Options{UseWire: wire})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%v: %w", t.Name, s, err)
 		}
@@ -241,10 +243,10 @@ func analyzeStage(t *Tech, s StageName, fe, be int, wire bool) (*sta.Result, err
 }
 
 // coreBlocks builds the nine analyzed baseline blocks.
-func coreBlocks(t *Tech, fe, be int, wire bool) ([]*pipeline.StagedBlock, error) {
+func coreBlocks(ctx context.Context, t *Tech, fe, be int, wire bool) ([]*pipeline.StagedBlock, error) {
 	blocks := make([]*pipeline.StagedBlock, 0, int(numStages))
 	for s := StFetch; s < numStages; s++ {
-		res, err := analyzeStage(t, s, fe, be, wire)
+		res, err := analyzeStage(ctx, t, s, fe, be, wire)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 )
@@ -38,17 +39,21 @@ func WidthSweep(t *Tech) ([]WidthPoint, error) {
 // deduplicated by the per-key memo caches, and results come back in the
 // serial sweep's (back-major) order.
 func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
+	ctx, sweepSpan := obs.Start(ctx, "sweep:width", obs.KV("tech", t.Name))
+	defer sweepSpan.End()
 	dff := t.DFF()
 	const cols = MaxFront - MinFront + 1
 	n := (MaxBack - MinBack + 1) * cols
-	return runner.Map(ctx, n, func(_ context.Context, i int) (WidthPoint, error) {
+	return runner.Map(ctx, n, func(ctx context.Context, i int) (WidthPoint, error) {
 		fe, be := MinFront+i%cols, MinBack+i/cols
-		blocks, err := coreBlocks(t, fe, be, true)
+		ctx, sp := obs.Start(ctx, "width-point", obs.Int("fe", fe), obs.Int("be", be))
+		defer sp.End()
+		blocks, err := coreBlocks(ctx, t, fe, be, true)
 		if err != nil {
 			return WidthPoint{}, err
 		}
-		period, tp := pipeline.CoreTiming(blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
-		mean, err := MeanIPC(uarchConfig(fe, be, nil))
+		period, tp := pipeline.CoreTiming(ctx, blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
+		mean, err := MeanIPCCtx(ctx, uarchConfig(fe, be, nil))
 		if err != nil {
 			return WidthPoint{}, err
 		}
@@ -114,7 +119,7 @@ type StageDelay struct {
 // StageDelays reports each baseline stage's combinational delay for
 // diagnostics and the ablation benches.
 func StageDelays(t *Tech, fe, be int, wire bool) ([]StageDelay, error) {
-	blocks, err := coreBlocks(t, fe, be, wire)
+	blocks, err := coreBlocks(context.Background(), t, fe, be, wire)
 	if err != nil {
 		return nil, err
 	}

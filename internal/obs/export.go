@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) event.
+// Timestamps and durations are microseconds, per the trace-event spec.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the trace-event JSON object form, loadable by
+// chrome://tracing and https://ui.perfetto.dev.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace_event JSON. Spans
+// become ph="X" complete events on their goroutine's row (tid), so
+// nesting is visible both structurally (args.parent) and visually
+// (containment of [ts, ts+dur] intervals on one row).
+func WriteChromeTrace(w io.Writer, t Trace) error {
+	events := make([]chromeEvent, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		args := make(map[string]string, len(s.Attrs)+3)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		// Structural keys win over same-named user attrs: consumers
+		// rebuild the span tree from args.id/args.parent.
+		args["id"] = strconv.FormatUint(s.ID, 10)
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatUint(s.Parent, 10)
+		}
+		if s.Stage != "" {
+			args[StageKey] = s.Stage
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "biodeg",
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Gid,
+			Args: args,
+		})
+	}
+	doc := chromeDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"spans":        strconv.Itoa(len(t.Spans)),
+			"droppedSpans": strconv.FormatInt(t.Dropped, 10),
+			"traceBegin":   t.Begin.UTC().Format("2006-01-02T15:04:05.000Z"),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// jsonlSummary is the final line of a JSONL export.
+type jsonlSummary struct {
+	Event   string `json:"event"`
+	Spans   int    `json:"spans"`
+	Dropped int64  `json:"dropped"`
+}
+
+// WriteJSONL renders the trace as JSON Lines: one SpanRecord object per
+// line in start order, terminated by a summary line
+// {"event":"summary","spans":N,"dropped":D} so consumers can detect
+// truncated files and buffer overflow.
+func WriteJSONL(w io.Writer, t Trace) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(jsonlSummary{Event: "summary", Spans: len(t.Spans), Dropped: t.Dropped})
+}
+
+// ReadJSONL parses a WriteJSONL export back into span records plus the
+// summary drop count (for tests and external tools).
+func ReadJSONL(r io.Reader) ([]SpanRecord, int64, error) {
+	dec := json.NewDecoder(r)
+	var spans []SpanRecord
+	var dropped int64
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			return spans, dropped, nil
+		} else if err != nil {
+			return nil, 0, err
+		}
+		var sum jsonlSummary
+		if json.Unmarshal(raw, &sum) == nil && sum.Event == "summary" {
+			dropped = sum.Dropped
+			continue
+		}
+		var s SpanRecord
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, 0, err
+		}
+		spans = append(spans, s)
+	}
+}
+
+// WriteFileChrome writes a Chrome trace_event file at path.
+func WriteFileChrome(path string, t Trace) error {
+	return writeFile(path, t, WriteChromeTrace)
+}
+
+// WriteFileJSONL writes a JSON Lines span log at path.
+func WriteFileJSONL(path string, t Trace) error {
+	return writeFile(path, t, WriteJSONL)
+}
+
+func writeFile(path string, t Trace, write func(io.Writer, Trace) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f, t)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, werr)
+	}
+	return nil
+}

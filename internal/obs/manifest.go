@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TableDigest identifies one rendered result table by content hash, so
+// two runs can be compared without storing the tables themselves.
+type TableDigest struct {
+	Title  string `json:"title"`
+	SHA256 string `json:"sha256"`
+}
+
+// ExperimentRecord is one experiment's provenance entry: what ran, how
+// long it took (the only timing field), and digests of every table it
+// produced.
+type ExperimentRecord struct {
+	ID     string        `json:"id"`
+	Title  string        `json:"title"`
+	WallMS float64       `json:"wall_ms"` // timing field: varies run to run
+	Tables []TableDigest `json:"tables"`
+}
+
+// Manifest is the per-invocation provenance record: everything needed
+// to reproduce and diff a run. Apart from the explicitly named timing
+// fields (wall_ms, total_wall_ms), two runs of the same binary with the
+// same configuration produce byte-identical manifests — table digests
+// included, because the parallel flow is bit-identical to the serial
+// one.
+type Manifest struct {
+	Tool        string             `json:"tool"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Workers     int                `json:"workers"`
+	Env         map[string]string  `json:"env"`  // every BIODEG_* knob in effect
+	Args        []string           `json:"args"` // command-line arguments
+	Experiments []ExperimentRecord `json:"experiments"`
+	Spans       int                `json:"spans"`
+	Dropped     int64              `json:"dropped_spans"`
+	TotalWallMS float64            `json:"total_wall_ms"` // timing field
+}
+
+// NewManifest builds a manifest for the named tool, capturing the Go
+// runtime configuration, the effective BIODEG_* environment, and the
+// command-line arguments.
+func NewManifest(tool string) *Manifest {
+	m := &Manifest{
+		Tool:        tool,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Env:         map[string]string{},
+		Args:        append([]string{}, os.Args[1:]...),
+		Experiments: []ExperimentRecord{},
+	}
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, "BIODEG_") {
+			continue
+		}
+		if i := strings.IndexByte(kv, '='); i > 0 {
+			m.Env[kv[:i]] = kv[i+1:]
+		}
+	}
+	return m
+}
+
+// Digest returns the hex SHA-256 of a rendered artifact.
+func Digest(rendered string) string {
+	sum := sha256.Sum256([]byte(rendered))
+	return hex.EncodeToString(sum[:])
+}
+
+// AddExperiment appends one experiment's provenance entry.
+func (m *Manifest) AddExperiment(id, title string, wall time.Duration, tables []TableDigest) {
+	m.Experiments = append(m.Experiments, ExperimentRecord{
+		ID:     id,
+		Title:  title,
+		WallMS: float64(wall.Nanoseconds()) / 1e6,
+		Tables: tables,
+	})
+}
+
+// Encode renders the manifest as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so the output is deterministic.
+func (m *Manifest) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.Encode()
+	if err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: parsing manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

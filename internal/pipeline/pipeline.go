@@ -1,9 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"math"
+	"strconv"
 
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/runner/metrics"
 	"repro/internal/sta"
 )
@@ -104,9 +107,13 @@ func PartitionMinMax(profile []float64, k int) float64 {
 }
 
 // PointAt pipelines the analyzed block into exactly n stages. Each
-// depth is independent, so sweeps may evaluate points concurrently.
-func PointAt(r *sta.Result, dff *liberty.Cell, cfg Config, n int) Point {
-	defer metrics.Time(metrics.StagePipeline)()
+// depth is independent, so sweeps may evaluate points concurrently. The
+// partitioning is recorded as one "pipeline" span (and metrics
+// observation) under the span carried by ctx.
+func PointAt(ctx context.Context, r *sta.Result, dff *liberty.Cell, cfg Config, n int) Point {
+	_, sp := obs.Start(ctx, "pipeline",
+		obs.Int("stages", n), obs.Stage(metrics.StagePipeline))
+	defer sp.End()
 	k := cfg.FeedbackK
 	if k == 0 {
 		k = FeedbackK
@@ -135,10 +142,10 @@ func PointAt(r *sta.Result, dff *liberty.Cell, cfg Config, n int) Point {
 
 // SweepDepth pipelines the analyzed block from 1 to maxStages and
 // reports frequency and area at each depth.
-func SweepDepth(r *sta.Result, dff *liberty.Cell, cfg Config, maxStages int) []Point {
+func SweepDepth(ctx context.Context, r *sta.Result, dff *liberty.Cell, cfg Config, maxStages int) []Point {
 	pts := make([]Point, 0, maxStages)
 	for n := 1; n <= maxStages; n++ {
-		pts = append(pts, PointAt(r, dff, cfg, n))
+		pts = append(pts, PointAt(ctx, r, dff, cfg, n))
 	}
 	return pts
 }
@@ -185,9 +192,13 @@ func CutCritical(blocks []*StagedBlock) *StagedBlock {
 
 // CoreTiming computes the clock period of a multi-block pipeline: the
 // worst per-stage delay across blocks plus register overhead plus the
-// depth-dependent feedback wire cost over the whole core.
-func CoreTiming(blocks []*StagedBlock, dff *liberty.Cell, cfg Config) (period float64, point Point) {
-	defer metrics.Time(metrics.StagePipeline)()
+// depth-dependent feedback wire cost over the whole core. The timing
+// walk is recorded as one "pipeline" span (and metrics observation)
+// under the span carried by ctx.
+func CoreTiming(ctx context.Context, blocks []*StagedBlock, dff *liberty.Cell, cfg Config) (period float64, point Point) {
+	_, sp := obs.Start(ctx, "pipeline",
+		obs.Int("blocks", len(blocks)), obs.Stage(metrics.StagePipeline))
+	defer sp.End()
 	k := cfg.FeedbackK
 	if k == 0 {
 		k = FeedbackK
@@ -203,6 +214,7 @@ func CoreTiming(blocks []*StagedBlock, dff *liberty.Cell, cfg Config) (period fl
 		depth += b.Cuts
 		area += float64(b.Cuts*b.RankBits) * dff.Area
 	}
+	sp.Set("depth", strconv.Itoa(depth))
 	reg := dff.ClkToQ + dff.Setup
 	var wire float64
 	if cfg.UseWire {

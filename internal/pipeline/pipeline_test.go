@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -78,7 +79,7 @@ func fakeResult(levels int, per float64, area float64) *sta.Result {
 
 func TestSweepDepthNoWire(t *testing.T) {
 	res := fakeResult(100, 10e-12, 1e-8)
-	pts := SweepDepth(res, fakeDFF(), Config{RankBits: 64}, 20)
+	pts := SweepDepth(context.Background(), res, fakeDFF(), Config{RankBits: 64}, 20)
 	if len(pts) != 20 {
 		t.Fatalf("want 20 points, got %d", len(pts))
 	}
@@ -100,7 +101,7 @@ func TestSweepDepthNoWire(t *testing.T) {
 func TestSweepDepthWirePeak(t *testing.T) {
 	res := fakeResult(100, 10e-12, 1e-8)
 	w := sta.Wire{ResPerM: 1.5e6, CapPerM: 2e-10, Pitch: 1e-6}
-	pts := SweepDepth(res, fakeDFF(), Config{RankBits: 64, Wire: w, UseWire: true, FeedbackK: 4}, 30)
+	pts := SweepDepth(context.Background(), res, fakeDFF(), Config{RankBits: 64, Wire: w, UseWire: true, FeedbackK: 4}, 30)
 	opt := OptimalDepth(pts)
 	if opt.Stages <= 2 || opt.Stages >= 30 {
 		t.Fatalf("wire cost should produce an interior optimum, got %d", opt.Stages)
@@ -111,7 +112,7 @@ func TestSweepDepthWirePeak(t *testing.T) {
 	}
 	// A slower-wire technology pushes the optimum deeper.
 	slow := sta.Wire{ResPerM: 25e3, CapPerM: 1.5e-10, Pitch: 1e-3}
-	pts2 := SweepDepth(fakeResult(100, 1e-3, 0.05), fakeDFF(), Config{RankBits: 64, Wire: slow, UseWire: true, FeedbackK: 4}, 30)
+	pts2 := SweepDepth(context.Background(), fakeResult(100, 1e-3, 0.05), fakeDFF(), Config{RankBits: 64, Wire: slow, UseWire: true, FeedbackK: 4}, 30)
 	opt2 := OptimalDepth(pts2)
 	if opt2.Stages <= opt.Stages {
 		t.Fatalf("relatively-fast wires should allow deeper pipelines: %d vs %d", opt2.Stages, opt.Stages)
@@ -144,7 +145,7 @@ func TestCoreTiming(t *testing.T) {
 		{Name: "exec", Result: fakeResult(20, 10e-12, 2e-9), Cuts: 1, RankBits: 64},
 	}
 	dff := fakeDFF()
-	period, pt := CoreTiming(blocks, dff, Config{})
+	period, pt := CoreTiming(context.Background(), blocks, dff, Config{})
 	if pt.Stages != 2 {
 		t.Fatalf("depth = %d, want 2", pt.Stages)
 	}
@@ -153,7 +154,7 @@ func TestCoreTiming(t *testing.T) {
 	}
 	// Cutting the exec stage improves the clock.
 	blocks[1].Cuts = 2
-	p2, pt2 := CoreTiming(blocks, dff, Config{})
+	p2, pt2 := CoreTiming(context.Background(), blocks, dff, Config{})
 	if p2 >= period {
 		t.Fatalf("cutting critical stage should shorten period: %g vs %g", p2, period)
 	}
@@ -176,10 +177,10 @@ func TestSweepDepthAgainstCoreTiming(t *testing.T) {
 	// A single-block "core" must agree with SweepDepth on logic delay.
 	res := fakeResult(60, 5e-12, 1e-9)
 	dff := fakeDFF()
-	pts := SweepDepth(res, dff, Config{RankBits: 10}, 6)
+	pts := SweepDepth(context.Background(), res, dff, Config{RankBits: 10}, 6)
 	for n := 1; n <= 6; n++ {
 		blocks := []*StagedBlock{{Name: "b", Result: res, Cuts: n, RankBits: 10}}
-		period, pt := CoreTiming(blocks, dff, Config{})
+		period, pt := CoreTiming(context.Background(), blocks, dff, Config{})
 		if math.Abs(pt.StageLogic-pts[n-1].StageLogic) > 1e-18 {
 			t.Fatalf("n=%d: stage logic %g vs %g", n, pt.StageLogic, pts[n-1].StageLogic)
 		}
@@ -195,7 +196,7 @@ func TestSweepDepthAgainstCoreTiming(t *testing.T) {
 func TestWireOverheadGrowsWithDepth(t *testing.T) {
 	res := fakeResult(100, 10e-12, 1e-8)
 	w := sta.Wire{ResPerM: 1.5e6, CapPerM: 2e-10}
-	pts := SweepDepth(res, fakeDFF(), Config{RankBits: 64, Wire: w, UseWire: true}, 16)
+	pts := SweepDepth(context.Background(), res, fakeDFF(), Config{RankBits: 64, Wire: w, UseWire: true}, 16)
 	for i := 1; i < len(pts); i++ {
 		if pts[i].WireOver <= pts[i-1].WireOver {
 			t.Fatalf("feedback wire cost must grow with depth at n=%d", pts[i].Stages)

@@ -8,6 +8,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers returns the worker-pool size: BIODEG_WORKERS when set to a
@@ -56,6 +59,13 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 
 // ForEach is Map without collected results: it runs fn(ctx, i) for
 // every i in [0, n) on the bounded pool and returns the first error.
+//
+// When span tracing is enabled (internal/obs), each task runs inside a
+// "runner.task" span parented to the span active in ctx at the ForEach
+// call. The span's duration is the execute time; its queue_wait_us
+// attribute is the time the task spent waiting between batch submission
+// and a worker picking it up, so a trace shows the queue-wait versus
+// execute split per task.
 func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -64,6 +74,8 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	if workers > n {
 		workers = n
 	}
+	traced := obs.Enabled()
+	submit := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -87,7 +99,16 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 				fail(&PanicError{Index: i, Value: r, Stack: stack})
 			}
 		}()
-		if err := fn(ctx, i); err != nil {
+		tctx := ctx
+		if traced {
+			wait := time.Since(submit)
+			var sp *obs.Span
+			tctx, sp = obs.Start(ctx, "runner.task",
+				obs.Int("index", i),
+				obs.KV("queue_wait_us", strconv.FormatInt(wait.Microseconds(), 10)))
+			defer sp.End()
+		}
+		if err := fn(tctx, i); err != nil {
 			fail(err)
 		}
 	}

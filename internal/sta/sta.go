@@ -1,11 +1,13 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/liberty"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/runner/metrics"
 	"repro/internal/synth"
 )
@@ -240,12 +242,27 @@ func Analyze(d *synth.Design, w Wire, opt Options) (*Result, error) {
 
 // AnalyzeNetlist maps and analyzes in one step.
 func AnalyzeNetlist(nl *logic.Netlist, lib *liberty.Library, w Wire, opt Options) (*Result, error) {
-	defer metrics.Time(metrics.StageSTA)()
+	return AnalyzeNetlistCtx(context.Background(), nl, lib, w, opt)
+}
+
+// AnalyzeNetlistCtx is AnalyzeNetlist with span parenting: the run is
+// recorded as one "sta" span (and one metrics observation) under the
+// span carried by ctx.
+func AnalyzeNetlistCtx(ctx context.Context, nl *logic.Netlist, lib *liberty.Library, w Wire, opt Options) (*Result, error) {
+	_, sp := obs.Start(ctx, "sta",
+		obs.KV("netlist", nl.Name), obs.KV("lib", lib.Name), obs.Bool("wire", opt.UseWire),
+		obs.Stage(metrics.StageSTA))
+	defer sp.End()
 	d, err := synth.Map(nl, lib)
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(d, w, opt)
+	res, err := Analyze(d, w, opt)
+	if err == nil {
+		sp.Set("cells", fmt.Sprint(res.NumCells))
+		sp.Set("levels", fmt.Sprint(res.Levels))
+	}
+	return res, err
 }
 
 // Sanity check that profile sums match the critical path within

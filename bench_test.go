@@ -236,8 +236,8 @@ func BenchmarkAbsoluteFrequency(b *testing.B) {
 // fan-out: the cheap device-level figures dispatched together through
 // biodeg.RunExperiments. Compare against running the same IDs serially
 // to see the pool's effect on a multi-core host; the workers metric
-// records the pool size the run actually used (BIODEG_WORKERS or
-// GOMAXPROCS).
+// records the pool size the run actually used (the configured worker
+// count, else GOMAXPROCS).
 func BenchmarkParallelExperiments(b *testing.B) {
 	ids := []string{"fig3", "fig4", "fig6", "fig7", "fig8"}
 	for i := 0; i < b.N; i++ {

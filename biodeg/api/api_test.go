@@ -1,0 +1,82 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/biodeg"
+)
+
+func TestTechnologyResolution(t *testing.T) {
+	for _, name := range []string{"", "organic", "silicon"} {
+		r := SweepRequest{Tech: name}
+		if _, err := r.Technology(); err != nil {
+			t.Errorf("Technology(%q): %v", name, err)
+		}
+	}
+	r := SweepRequest{Tech: "gallium"}
+	if _, err := r.Technology(); err == nil {
+		t.Error("unknown technology should fail")
+	}
+}
+
+func TestCoreConfigOverlaysBaseline(t *testing.T) {
+	base := biodeg.DefaultCore()
+
+	if got := (*CoreConfig)(nil).Core(); got != base {
+		t.Errorf("nil config = %+v, want baseline %+v", got, base)
+	}
+
+	var c CoreConfig
+	if err := json.Unmarshal([]byte(`{"front_width":4,"back_width":6}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Core()
+	if got.FrontWidth != 4 || got.BackWidth != 6 {
+		t.Errorf("widths = %d/%d, want 4/6", got.FrontWidth, got.BackWidth)
+	}
+	if got.ROB != base.ROB || got.CacheKB != base.CacheKB {
+		t.Error("unset fields must keep the baseline values")
+	}
+}
+
+func TestSweepResultRoundTrip(t *testing.T) {
+	in := SweepResult{
+		Version: Version,
+		Kind:    SweepALUDepth,
+		Tech:    "organic",
+		ALU: FromALUPoints([]biodeg.ALUPoint{
+			{Stages: 2, Period: 1e-4, Freq: 1e4, Area: 1e-5},
+		}),
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SweepResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ALU[0].FreqHz != 1e4 || out.Kind != SweepALUDepth {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if len(out.Depth) != 0 || len(out.Width) != 0 {
+		t.Error("unused point slices should stay empty")
+	}
+}
+
+func TestStatsWireNames(t *testing.T) {
+	b, err := json.Marshal(FromStats(biodeg.Stats{IPC: 0.5, MPKI: 12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ipc", "mpki", "instrs", "cycles", "miss_rate"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("stats wire form missing %q: %v", key, m)
+		}
+	}
+}

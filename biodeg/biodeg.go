@@ -9,8 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/liberty"
 	"repro/internal/obs"
-	"repro/internal/pipeline"
-	"repro/internal/runner"
 	"repro/internal/runner/metrics"
 	"repro/internal/spice"
 	"repro/internal/uarch"
@@ -53,38 +51,51 @@ func VariationTrim(vdd, vss float64, vtShifts []float64) ([]cells.VariationPoint
 	return cells.VariationTrim(vdd, vss, vtShifts, 121)
 }
 
-// ALUDepth pipelines the 32-bit complex ALU (CSA multiplier + stallable
-// divider datapath) from 1 to maxStages, reproducing Figure 12.
-func ALUDepth(t *Technology, maxStages int) ([]pipeline.Point, error) {
-	return core.ALUDepthSweep(t, maxStages, true)
+// ALUDepth pipelines the 32-bit complex ALU from 1 to maxStages,
+// reproducing Figure 12.
+//
+// Deprecated: Use Session.ALUDepth, which is context-first and carries
+// the session's worker pool. This wrapper runs on the package-default
+// session with a background context.
+func ALUDepth(t *Technology, maxStages int) ([]ALUPoint, error) {
+	return defaultSession.ALUDepth(context.Background(), t, maxStages)
 }
 
 // ALUDepthCtx is ALUDepth with cancellation.
-func ALUDepthCtx(ctx context.Context, t *Technology, maxStages int) ([]pipeline.Point, error) {
-	return core.ALUDepthSweepCtx(ctx, t, maxStages, true)
+//
+// Deprecated: Use Session.ALUDepth.
+func ALUDepthCtx(ctx context.Context, t *Technology, maxStages int) ([]ALUPoint, error) {
+	return defaultSession.ALUDepth(ctx, t, maxStages)
 }
 
 // CoreDepth sweeps the 9-stage baseline core to maxDepth by repeatedly
-// cutting the critical stage, reproducing Figure 11. Points carry
-// per-benchmark IPC and performance.
-func CoreDepth(t *Technology, minDepth, maxDepth int) ([]core.DepthPoint, error) {
-	return core.CoreDepthSweep(t, minDepth, maxDepth, true)
+// cutting the critical stage, reproducing Figure 11.
+//
+// Deprecated: Use Session.CoreDepth.
+func CoreDepth(t *Technology, minDepth, maxDepth int) ([]DepthPoint, error) {
+	return defaultSession.CoreDepth(context.Background(), t, minDepth, maxDepth)
 }
 
 // CoreDepthCtx is CoreDepth with cancellation.
-func CoreDepthCtx(ctx context.Context, t *Technology, minDepth, maxDepth int) ([]core.DepthPoint, error) {
-	return core.CoreDepthSweepCtx(ctx, t, minDepth, maxDepth, true)
+//
+// Deprecated: Use Session.CoreDepth.
+func CoreDepthCtx(ctx context.Context, t *Technology, minDepth, maxDepth int) ([]DepthPoint, error) {
+	return defaultSession.CoreDepth(ctx, t, minDepth, maxDepth)
 }
 
 // Widths sweeps the thirty superscalar width configurations
 // (front-end 1-6 x back-end 3-7), reproducing Figures 13-14.
-func Widths(t *Technology) ([]core.WidthPoint, error) {
-	return core.WidthSweep(t)
+//
+// Deprecated: Use Session.Widths.
+func Widths(t *Technology) ([]WidthPoint, error) {
+	return defaultSession.Widths(context.Background(), t)
 }
 
 // WidthsCtx is Widths with cancellation.
-func WidthsCtx(ctx context.Context, t *Technology) ([]core.WidthPoint, error) {
-	return core.WidthSweepCtx(ctx, t)
+//
+// Deprecated: Use Session.Widths.
+func WidthsCtx(ctx context.Context, t *Technology) ([]WidthPoint, error) {
+	return defaultSession.Widths(ctx, t)
 }
 
 // Benchmarks lists the seven workloads (Dhrystone-like plus six
@@ -100,15 +111,19 @@ func DefaultCore() CoreConfig { return uarch.DefaultConfig() }
 // SimulateIPC runs one benchmark through the cycle-level core model,
 // verifying the workload's architectural result, and returns timing
 // statistics (IPC, mispredicts, cache misses).
-func SimulateIPC(bench string, cfg CoreConfig) (uarch.Stats, error) {
-	return core.BenchIPC(bench, cfg)
+//
+// Deprecated: Use Session.SimulateIPC.
+func SimulateIPC(bench string, cfg CoreConfig) (Stats, error) {
+	return defaultSession.SimulateIPC(context.Background(), bench, cfg)
 }
 
 // SimulateIPCCtx is SimulateIPC with span parenting: a tracing run's
 // root span (from internal/cli) becomes the parent of the simulation
 // span.
-func SimulateIPCCtx(ctx context.Context, bench string, cfg CoreConfig) (uarch.Stats, error) {
-	return core.BenchIPCCtx(ctx, bench, cfg)
+//
+// Deprecated: Use Session.SimulateIPC.
+func SimulateIPCCtx(ctx context.Context, bench string, cfg CoreConfig) (Stats, error) {
+	return defaultSession.SimulateIPC(ctx, bench, cfg)
 }
 
 // RunWorkload executes a benchmark functionally and checks its result
@@ -137,12 +152,11 @@ type (
 func Experiments() []*Experiment { return core.Experiments() }
 
 // RunExperiment runs one experiment by ID ("fig3", "fig11", ...).
+//
+// Deprecated: Use Session.RunExperiment, which honors its context —
+// this wrapper cannot be cancelled.
 func RunExperiment(id string) ([]*Table, error) {
-	e := core.ExperimentByID(id)
-	if e == nil {
-		return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
-	}
-	return e.Run(context.Background())
+	return defaultSession.RunExperiment(context.Background(), id)
 }
 
 // RunExperiments runs the named experiments concurrently on the worker
@@ -150,19 +164,17 @@ func RunExperiment(id string) ([]*Table, error) {
 // deduplicated by the process-wide caches) and returns their results in
 // the order the IDs were given. The first failure cancels the
 // not-yet-started experiments.
+//
+// Deprecated: Use Session.RunExperiments.
 func RunExperiments(ctx context.Context, ids ...string) ([]ExperimentResult, error) {
-	exps := make([]*Experiment, len(ids))
-	for i, id := range ids {
-		if exps[i] = core.ExperimentByID(id); exps[i] == nil {
-			return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
-		}
-	}
-	return core.RunExperiments(ctx, exps)
+	return defaultSession.RunExperiments(ctx, ids...)
 }
 
 // RunAll runs the whole registry concurrently, in registry order.
+//
+// Deprecated: Use Session.RunAll.
 func RunAll(ctx context.Context) ([]ExperimentResult, error) {
-	return core.RunExperiments(ctx, core.Experiments())
+	return defaultSession.RunAll(ctx)
 }
 
 // RecordResults appends each result's provenance — experiment ID,
@@ -178,17 +190,24 @@ func RecordResults(m *obs.Manifest, results []ExperimentResult) {
 	}
 }
 
-// Parallelism reports the worker-pool size used by the sweeps and the
-// experiment runner: BIODEG_WORKERS when set, else GOMAXPROCS.
-func Parallelism() int { return runner.Workers() }
+// Parallelism reports the worker-pool size of the package-default
+// session: the -workers flag / process default when set, else
+// GOMAXPROCS.
+//
+// Deprecated: Use Session.Workers.
+func Parallelism() int { return defaultSession.Workers() }
 
-// MetricsEnabled reports whether BIODEG_METRICS asks for the per-stage
-// wall-time report (commands print it to stderr when true).
-func MetricsEnabled() bool { return metrics.Enabled() }
+// MetricsEnabled reports whether the process-default configuration
+// asks for the per-stage wall-time report.
+//
+// Deprecated: Use Session.MetricsEnabled.
+func MetricsEnabled() bool { return defaultSession.MetricsEnabled() }
 
 // MetricsReport renders the per-stage counters and wall-time histograms
 // (characterize / sta / pipeline / ipc / experiment) recorded so far.
-func MetricsReport() string { return metrics.Report() }
+//
+// Deprecated: Use Session.MetricsReport.
+func MetricsReport() string { return defaultSession.MetricsReport() }
 
 // OnProgress installs fn as a process-wide progress hook, invoked after
 // every completed unit of instrumented work with the stage name, the

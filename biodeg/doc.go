@@ -16,20 +16,29 @@
 // for concurrent use. Heavy artifacts (cell characterization, stage
 // synthesis, IPC runs) are cached process-wide in per-key singleflight
 // caches, so repeated or concurrent calls are cheap and never convoy on
-// a global lock. The sweeps themselves fan out over a bounded worker
-// pool sized by GOMAXPROCS (override with BIODEG_WORKERS); the Ctx
-// variants (CoreDepthCtx, WidthsCtx, ALUDepthCtx, RunExperiments)
-// accept a context for cancellation, and parallel results are ordered
-// by design point — bit-identical to a serial run. RunExperiments
-// executes independent paper figures concurrently; set BIODEG_METRICS=1
-// to make the commands print the per-stage wall-time report, or attach
-// OnProgress for live progress callbacks.
+// a global lock.
+//
+// The context-first entry point is Session, built with functional
+// options: New(WithWorkers(8), WithMetrics(true), WithTracer(tr)).
+// Every sweep and experiment is a Session method taking a context for
+// cancellation; the sweep fans out over the session's worker pool
+// (unset options inherit the process defaults the commands install
+// from their flags), and parallel results are ordered by design point
+// — bit-identical to a serial run. Two sessions with different worker
+// counts or tracers coexist in one process; the biodegd daemon serves
+// all its HTTP traffic from one shared Session. The former top-level
+// function pairs (Widths/WidthsCtx, ...) remain as deprecated wrappers
+// over a package-default session. Session.RunExperiments executes
+// independent paper figures concurrently; Session.MetricsReport
+// renders the per-stage wall-time report, and OnProgress registers
+// live progress callbacks.
 //
 // Observability: the Ctx variants parent their spans (internal/obs) to
 // the span carried by ctx, so a tracing run shows the full
 // run > experiment > sweep > grid-point > sta/ipc tree. The commands
 // expose the sinks as flags (-trace, -jsonl, -manifest, -pprof, each
-// defaulting from the matching BIODEG_* environment variable);
+// defaulting from the matching BIODEG_* environment variable — the
+// flag layer, internal/cli, is the only environment reader);
 // RecordResults fills a run manifest with per-experiment wall times
 // and table digests for reproducibility diffing.
 package biodeg

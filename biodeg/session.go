@@ -1,0 +1,213 @@
+package biodeg
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/runner/metrics"
+	"repro/internal/uarch"
+)
+
+// Session is the context-first entry point to the reproduction: a
+// bundle of runtime options (worker count, metrics reporting, library
+// cache, tracer) that every method threads through the context it
+// passes down. Two sessions with different options coexist in one
+// process without touching shared mutable state — Session replaces the
+// BIODEG_* process-environment globals the package grew up with.
+//
+// A Session is immutable after New and safe for concurrent use by any
+// number of goroutines; the HTTP daemon (cmd/biodegd) serves all
+// requests from one shared Session.
+//
+// Options left unset inherit the process default configuration
+// (installed by internal/cli from the command-line flags) at call
+// time, so the package-default session behind the deprecated
+// top-level functions still follows the flags.
+type Session struct {
+	workers  *int
+	metrics  *bool
+	libCache *string
+	tracer   *obs.Tracer
+}
+
+// Option configures a Session at New time.
+type Option func(*Session)
+
+// WithWorkers fixes the session's worker-pool size for every sweep and
+// experiment the session runs. n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.workers = &n }
+}
+
+// WithMetrics sets whether the session considers the per-stage metrics
+// report requested (MetricsEnabled). Recording is always on; this knob
+// only drives report printing.
+func WithMetrics(on bool) Option {
+	return func(s *Session) { s.metrics = &on }
+}
+
+// WithLibCache names a directory persisting characterized libraries
+// across processes. Note the characterized-library memo itself is
+// process-wide (characterization is deterministic, so sessions share
+// its results); this option matters for the session that triggers the
+// first characterization.
+func WithLibCache(dir string) Option {
+	return func(s *Session) { s.libCache = &dir }
+}
+
+// Tracer is an independent span collector (see internal/obs): spans
+// started under a session created WithTracer land in that tracer's
+// buffer instead of the process-wide one.
+type Tracer = obs.Tracer
+
+// NewTracer returns a span collector for WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// WithTracer routes the session's spans into tr, so per-session traces
+// can be collected (tr.Collect) and exported independently of the
+// process-wide trace sinks.
+func WithTracer(tr *Tracer) Option {
+	return func(s *Session) { s.tracer = tr }
+}
+
+// New builds a Session from the given options.
+func New(opts ...Option) *Session {
+	s := &Session{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// defaultSession backs the deprecated top-level functions. It sets no
+// options, so it follows the process default configuration.
+var defaultSession = New()
+
+// config resolves the session's effective configuration: explicit
+// options over the process default, read at call time.
+func (s *Session) config() config.Config {
+	c := config.Default()
+	if s.workers != nil {
+		c.Workers = *s.workers
+	}
+	if s.metrics != nil {
+		c.Metrics = *s.metrics
+	}
+	if s.libCache != nil {
+		c.LibCache = *s.libCache
+	}
+	return c
+}
+
+// bind attaches the session's configuration (and tracer, if any) to
+// ctx; every public method funnels through it.
+func (s *Session) bind(ctx context.Context) context.Context {
+	ctx = config.WithContext(ctx, s.config())
+	if s.tracer != nil {
+		ctx = obs.ContextWithTracer(ctx, s.tracer)
+	}
+	return ctx
+}
+
+// Workers reports the worker-pool size the session's sweeps use.
+func (s *Session) Workers() int { return s.config().WorkerCount() }
+
+// MetricsEnabled reports whether the session asks for the per-stage
+// wall-time report.
+func (s *Session) MetricsEnabled() bool { return s.config().Metrics }
+
+// MetricsReport renders the process-wide per-stage counters and
+// wall-time histograms recorded so far.
+func (s *Session) MetricsReport() string { return metrics.Report() }
+
+// Tracer returns the session's tracer, or nil when the session traces
+// into the process-wide buffer.
+func (s *Session) Tracer() *Tracer { return s.tracer }
+
+// ALUDepth pipelines the 32-bit complex ALU (CSA multiplier + stallable
+// divider datapath) from 1 to maxStages, reproducing Figure 12. The
+// sweep fans out on the session's worker pool and stops early when ctx
+// is cancelled.
+func (s *Session) ALUDepth(ctx context.Context, t *Technology, maxStages int) ([]ALUPoint, error) {
+	return core.ALUDepthSweepCtx(s.bind(ctx), t, maxStages, true)
+}
+
+// CoreDepth sweeps the 9-stage baseline core to maxDepth by repeatedly
+// cutting the critical stage, reproducing Figure 11. Points carry
+// per-benchmark IPC and performance.
+func (s *Session) CoreDepth(ctx context.Context, t *Technology, minDepth, maxDepth int) ([]DepthPoint, error) {
+	return core.CoreDepthSweepCtx(s.bind(ctx), t, minDepth, maxDepth, true)
+}
+
+// Widths sweeps the thirty superscalar width configurations
+// (front-end 1-6 x back-end 3-7), reproducing Figures 13-14.
+func (s *Session) Widths(ctx context.Context, t *Technology) ([]WidthPoint, error) {
+	return core.WidthSweepCtx(s.bind(ctx), t)
+}
+
+// SimulateIPC runs one benchmark through the cycle-level core model,
+// verifying the workload's architectural result, and returns timing
+// statistics (IPC, mispredicts, cache misses).
+func (s *Session) SimulateIPC(ctx context.Context, bench string, cfg CoreConfig) (Stats, error) {
+	return core.BenchIPCCtx(s.bind(ctx), bench, cfg)
+}
+
+// RunExperiment runs one experiment by ID ("fig3", "fig11", ...) under
+// ctx: cancelling the context stops in-flight grid points, unlike the
+// deprecated top-level RunExperiment, which ignored its caller's
+// lifetime.
+func (s *Session) RunExperiment(ctx context.Context, id string) ([]*Table, error) {
+	results, err := s.RunExperiments(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return results[0].Tables, nil
+}
+
+// RunExperiments runs the named experiments concurrently on the
+// session's worker pool (independent figures in parallel; shared heavy
+// intermediates are deduplicated by the process-wide caches) and
+// returns their results in the order the IDs were given. The first
+// failure cancels the not-yet-started experiments.
+func (s *Session) RunExperiments(ctx context.Context, ids ...string) ([]ExperimentResult, error) {
+	exps := make([]*core.Experiment, len(ids))
+	for i, id := range ids {
+		if exps[i] = core.ExperimentByID(id); exps[i] == nil {
+			return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
+		}
+	}
+	return core.RunExperiments(s.bind(ctx), exps)
+}
+
+// RunAll runs the whole registry concurrently, in registry order.
+func (s *Session) RunAll(ctx context.Context) ([]ExperimentResult, error) {
+	return core.RunExperiments(s.bind(ctx), core.Experiments())
+}
+
+// OnProgress installs fn as a process-wide progress hook, invoked after
+// every completed unit of instrumented work with the stage name, the
+// stage's cumulative count, and the unit's duration. Pass nil to remove
+// the hook. The callback runs on worker goroutines: keep it fast and
+// concurrency-safe. The hook is process-wide (a metrics-layer
+// property), not per-session.
+func (s *Session) OnProgress(fn func(stage string, count int64, d time.Duration)) {
+	metrics.OnProgress(fn)
+}
+
+// Result point types of the session sweeps, re-exported so consumers
+// (biodeg/api, the server, examples) need not import internal packages.
+type (
+	// ALUPoint is one depth of the Figure 12 ALU sweep.
+	ALUPoint = pipeline.Point
+	// DepthPoint is one depth of the Figure 11 core sweep.
+	DepthPoint = core.DepthPoint
+	// WidthPoint is one (front-end, back-end) width configuration.
+	WidthPoint = core.WidthPoint
+	// Stats is the cycle-level simulation statistics bundle.
+	Stats = uarch.Stats
+)

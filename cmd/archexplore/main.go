@@ -56,7 +56,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "archexplore: %v\n", err)
 		os.Exit(1)
 	}
-	results, err := biodeg.RunExperiments(ctx, ids...)
+	session := biodeg.New()
+	results, err := session.RunExperiments(ctx, ids...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "archexplore: %v\n", err)
 		os.Exit(1)
@@ -66,8 +67,8 @@ func main() {
 			fmt.Println(t.Render())
 		}
 	}
-	if biodeg.MetricsEnabled() {
-		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	if session.MetricsEnabled() {
+		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", session.Workers(), session.MetricsReport())
 	}
 	biodeg.RecordResults(run.Manifest, results)
 	if err := run.Finish(); err != nil {

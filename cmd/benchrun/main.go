@@ -54,6 +54,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
 		os.Exit(1)
 	}
+	session := biodeg.New()
 	cfg := biodeg.DefaultCore()
 	cfg.FrontWidth = *fe
 	cfg.BackWidth = *be
@@ -61,7 +62,7 @@ func main() {
 	fmt.Printf("%-10s %8s %10s %8s %9s %9s\n", "bench", "IPC", "instrs", "cycles", "MPKI", "missrate")
 	failed := 0
 	for _, b := range benches {
-		st, err := biodeg.SimulateIPCCtx(ctx, b, cfg)
+		st, err := session.SimulateIPC(ctx, b, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", b, err)
 			failed++
@@ -69,8 +70,8 @@ func main() {
 		}
 		fmt.Printf("%-10s %8.3f %10d %8d %9.2f %9.3f\n", b, st.IPC, st.Instrs, st.Cycles, st.MPKI, st.MissRate)
 	}
-	if biodeg.MetricsEnabled() {
-		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	if session.MetricsEnabled() {
+		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", session.Workers(), session.MetricsReport())
 	}
 	if err := run.Finish(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)

@@ -1,0 +1,112 @@
+// Command biodegd is the reproduction's long-running daemon: an
+// HTTP/JSON service exposing the experiment registry, the design-space
+// sweeps, and IPC simulation for concurrent clients.
+//
+// Usage:
+//
+//	biodegd [-addr :8080] [-max-inflight N] [-cache N]
+//	        [-request-timeout 5m] [-drain-timeout 30s] [common flags]
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness + traffic counters
+//	GET  /metricsz                   per-stage wall-time report
+//	GET  /v1/experiments             registry listing
+//	POST /v1/experiments/{id}/run    run one experiment
+//	POST /v1/sweeps/{kind}           alu-depth | core-depth | width
+//	POST /v1/simulate                one benchmark through the core model
+//	GET  /v1/progress                Server-Sent Events progress stream
+//	GET  /debug/pprof/               runtime profiles
+//
+// Expensive responses carry X-Biodeg-Cache: hit | miss | coalesced.
+// SIGINT/SIGTERM drains in-flight requests (bounded by -drain-timeout)
+// before exit, then writes any requested trace/manifest sinks.
+//
+// Common flags (each defaults from the matching BIODEG_* environment
+// variable; explicit flags win): -workers, -metrics, -libcache,
+// -trace, -jsonl, -manifest, -pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/biodeg"
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	opts := cli.Register(flag.CommandLine)
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted computations, 0 = 2 x GOMAXPROCS")
+	cacheSize := flag.Int("cache", 256, "rendered-response LRU capacity")
+	reqTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-computation deadline, 0 = none")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	run, _, err := opts.Start("biodegd")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "biodegd: %v\n", err)
+		os.Exit(1)
+	}
+
+	// One shared session serves every request: the flags fix its worker
+	// pool and metrics posture for the daemon's lifetime.
+	session := biodeg.New(
+		biodeg.WithWorkers(opts.Workers),
+		biodeg.WithMetrics(opts.Metrics),
+		biodeg.WithLibCache(opts.LibCache),
+	)
+	srv := server.New(server.NewSessionEngine(session), server.Options{
+		MaxInflight:    *maxInflight,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *reqTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "biodegd: listening on %s (workers=%d)\n", *addr, session.Workers())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	exit := 0
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "biodegd: serve: %v\n", err)
+		exit = 1
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "biodegd: signal received, draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "biodegd: drain: %v\n", err)
+			exit = 1
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "biodegd: serve: %v\n", err)
+			exit = 1
+		}
+	}
+
+	if err := run.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "biodegd: %v\n", err)
+		exit = 1
+	}
+	os.Exit(exit)
+}

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	replicate [-only fig3,fig11,...] [common flags]
+//	replicate [-only fig3,fig11,...] [-json] [common flags]
+//
+// With -json, the rendered report is replaced by a JSON array of
+// versioned biodeg/api.ExperimentResult values — the same wire shape
+// the biodegd daemon serves — for downstream tooling.
 //
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +26,14 @@ import (
 	"time"
 
 	"repro/biodeg"
+	"repro/biodeg/api"
 	"repro/internal/cli"
 )
 
 func main() {
 	opts := cli.Register(flag.CommandLine)
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all, in registry order)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array of api.ExperimentResult instead of the rendered report")
 	flag.Parse()
 	run, ctx, err := opts.Start("replicate")
 	if err != nil {
@@ -35,30 +42,53 @@ func main() {
 	}
 
 	start := time.Now()
+	session := biodeg.New()
 	var results []biodeg.ExperimentResult
 	if *only != "" {
 		ids := strings.Split(*only, ",")
 		for i := range ids {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
-		results, err = biodeg.RunExperiments(ctx, ids...)
+		results, err = session.RunExperiments(ctx, ids...)
 	} else {
-		results, err = biodeg.RunAll(ctx)
+		results, err = session.RunAll(ctx)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
 		os.Exit(1)
 	}
-	for _, r := range results {
-		fmt.Printf("######## %s: %s\n", r.Experiment.ID, r.Experiment.Title)
-		fmt.Printf("paper: %s\n\n", r.Experiment.Paper)
-		for _, t := range r.Tables {
-			fmt.Println(t.Render())
+	if *jsonOut {
+		out := make([]api.ExperimentResult, len(results))
+		for i, r := range results {
+			out[i] = api.ExperimentResult{
+				Version: api.Version,
+				ID:      r.Experiment.ID,
+				Title:   r.Experiment.Title,
+				WallMS:  float64(r.Wall.Nanoseconds()) / 1e6,
+				Tables:  make([]api.Table, len(r.Tables)),
+			}
+			for j, t := range r.Tables {
+				out[i].Tables[j] = api.FromTable(t)
+			}
 		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, r := range results {
+			fmt.Printf("######## %s: %s\n", r.Experiment.ID, r.Experiment.Title)
+			fmt.Printf("paper: %s\n\n", r.Experiment.Paper)
+			for _, t := range r.Tables {
+				fmt.Println(t.Render())
+			}
+		}
+		fmt.Printf("total runtime: %v\n", time.Since(start))
 	}
-	fmt.Printf("total runtime: %v\n", time.Since(start))
-	if biodeg.MetricsEnabled() {
-		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", biodeg.Parallelism(), biodeg.MetricsReport())
+	if session.MetricsEnabled() {
+		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", session.Workers(), session.MetricsReport())
 	}
 	biodeg.RecordResults(run.Manifest, results)
 	if err := run.Finish(); err != nil {

@@ -1,0 +1,97 @@
+// Sweepclient drives a running biodegd daemon over HTTP: it lists the
+// experiment registry, requests a reduced ALU-depth sweep twice (the
+// second response returns from the daemon's cache), and runs one
+// benchmark through the cycle-level core model — all through the
+// versioned wire types of biodeg/api, with no import of the simulation
+// packages themselves.
+//
+// Start the daemon first, then point the client at it:
+//
+//	go run ./cmd/biodegd -addr localhost:8080 &
+//	go run ./examples/sweepclient http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/biodeg/api"
+)
+
+func main() {
+	base := "http://localhost:8080"
+	if len(os.Args) > 1 {
+		base = os.Args[1]
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	var reg api.ExperimentList
+	get(client, base+"/v1/experiments", &reg)
+	fmt.Printf("daemon serves %d experiments (%s wire format)\n", len(reg.Experiments), reg.Version)
+
+	req := api.SweepRequest{Tech: "organic", MaxStages: 4}
+	for attempt := 1; attempt <= 2; attempt++ {
+		var res api.SweepResult
+		cacheState := post(client, base+"/v1/sweeps/"+api.SweepALUDepth, req, &res)
+		fmt.Printf("\nALU sweep attempt %d (%s):\n", attempt, cacheState)
+		for _, p := range res.ALU {
+			fmt.Printf("  %d stages: %8.3f Hz, %6.2f cm^2\n", p.Stages, p.FreqHz, p.AreaM2*1e4)
+		}
+	}
+
+	var sim api.SimulateResult
+	post(client, base+"/v1/simulate", api.SimulateRequest{
+		Bench:  "dhrystone",
+		Config: &api.CoreConfig{FrontWidth: 4, BackWidth: 6},
+	}, &sim)
+	fmt.Printf("\n%s on a 4-wide core: IPC %.3f over %d instructions (%.1f MPKI)\n",
+		sim.Bench, sim.Stats.IPC, sim.Stats.Instrs, sim.Stats.MPKI)
+}
+
+func get(client *http.Client, url string, out any) {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v (is biodegd running?)", url, err)
+	}
+	decodeResponse(resp, url, out)
+}
+
+// post sends v and decodes the response into out, returning the
+// daemon's X-Biodeg-Cache verdict (hit, miss, or coalesced).
+func post(client *http.Client, url string, v, out any) string {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v (is biodegd running?)", url, err)
+	}
+	state := resp.Header.Get("X-Biodeg-Cache")
+	decodeResponse(resp, url, out)
+	return state
+}
+
+func decodeResponse(resp *http.Response, url string, out any) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("%s: reading response: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
+			log.Fatalf("%s: %d: %s", url, resp.StatusCode, apiErr.Error)
+		}
+		log.Fatalf("%s: %d: %s", url, resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		log.Fatalf("%s: parsing response: %v", url, err)
+	}
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,8 +14,9 @@ import (
 )
 
 func main() {
+	session := biodeg.New()
 	for _, tech := range []*biodeg.Technology{biodeg.Silicon(), biodeg.Organic()} {
-		pts, err := biodeg.Widths(tech)
+		pts, err := session.Widths(context.Background(), tech)
 		if err != nil {
 			log.Fatal(err)
 		}

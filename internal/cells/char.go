@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/config"
 	"repro/internal/liberty"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -36,16 +37,18 @@ func DefaultCharConfig() CharConfig {
 var libMemo runner.Memo[string, *liberty.Library]
 
 // Library characterizes (once, cached) and returns the technology's
-// 6-cell liberty library. When the BIODEG_LIBCACHE environment variable
-// names a directory, characterized libraries are persisted there as
-// <name>.lib text files and reloaded on later runs, skipping the ~10 s
-// transient-simulation pass (stale files regenerate on format-version
-// or read errors).
+// 6-cell liberty library. When the process default configuration
+// (internal/config, set by the -libcache flag) names a directory,
+// characterized libraries are persisted there as <name>.lib text files
+// and reloaded on later runs, skipping the ~10 s transient-simulation
+// pass (stale files regenerate on format-version or read errors).
+// Characterized libraries are a process-wide shared resource: sessions
+// share them deliberately, since characterization is deterministic.
 func Library(t *Technology) *liberty.Library {
 	lib, err := libMemo.Do(t.Name, func() (*liberty.Library, error) {
 		ctx, sp := obs.Start(context.Background(), "characterize-library", obs.KV("tech", t.Name))
 		defer sp.End()
-		cacheDir := os.Getenv("BIODEG_LIBCACHE")
+		cacheDir := config.Default().LibCache
 		if cacheDir != "" {
 			if lib, err := loadLibraryFile(filepath.Join(cacheDir, t.Name+".lib")); err == nil {
 				sp.Set("cache", "hit")

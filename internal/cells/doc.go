@@ -19,7 +19,8 @@
 // other, and concurrent callers of the same technology share a single
 // characterization. Within one characterization the independent cells
 // fan out over the runner worker pool, each recording a "characterize"
-// metrics observation. Setting BIODEG_LIBCACHE=<dir> persists
+// metrics observation. Naming a cache directory in the process
+// configuration (the -libcache flag / config.Config.LibCache) persists
 // characterized libraries as .lib text files and reloads them on later
 // runs. Returned *liberty.Library values are shared and must be
 // treated as immutable.

@@ -1,9 +1,13 @@
 // Package cli is the shared flag surface of the reproduction's
 // commands. Every knob is a flag whose default comes from the matching
 // BIODEG_* environment variable, so precedence is flag > env > built-in
-// default; Options.Start republishes the effective values into the
-// environment so packages that read env at use time (runner.Workers,
-// metrics.Enabled, the library disk cache) observe the flags too.
+// default. This package is the only place the BIODEG_* environment is
+// read: Options.Start installs the effective values as the process
+// default configuration (internal/config) and as the metrics-report
+// flag, so the internal packages — and the package-default
+// biodeg.Session — observe the flags without ever touching the
+// environment themselves. Commands that want non-default behavior
+// build an explicit biodeg.Session from the parsed Options instead.
 //
 // Start also turns on the observability sinks requested by the flags:
 // span tracing (internal/obs) when a trace, JSONL, or manifest output
@@ -21,8 +25,9 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/obs"
-	"repro/internal/runner"
+	"repro/internal/runner/metrics"
 )
 
 // Options is the parsed common flag set.
@@ -85,20 +90,23 @@ type Run struct {
 	start    time.Time
 }
 
-// Start applies the parsed options — republishing them into the
-// BIODEG_* environment, enabling span tracing if any sink wants it,
+// Config returns the runtime configuration the parsed flags describe.
+func (o *Options) Config() config.Config {
+	return config.Config{Workers: o.Workers, Metrics: o.Metrics, LibCache: o.LibCache}
+}
+
+// Start applies the parsed options — installing them as the process
+// default configuration, enabling span tracing if any sink wants it,
 // and starting the pprof server — and opens the run's root span. It
-// returns the Run and a context carrying the root span.
+// returns the Run and a context carrying the root span and the
+// effective configuration.
 func (o *Options) Start(tool string) (*Run, context.Context, error) {
-	// Republish flag values so env-reading packages see the effective
-	// configuration (and so the manifest's env block records it).
-	setenv("BIODEG_WORKERS", positive(o.Workers))
-	setenv("BIODEG_METRICS", boolEnv(o.Metrics))
-	setenv("BIODEG_LIBCACHE", o.LibCache)
-	setenv("BIODEG_TRACE", o.Trace)
-	setenv("BIODEG_TRACE_JSONL", o.JSONL)
-	setenv("BIODEG_MANIFEST", o.Manifest)
-	setenv("BIODEG_PPROF", o.Pprof)
+	// Install the effective configuration as the process default so
+	// code paths without a context (lazy technology characterization,
+	// the package-default session) observe the flags too.
+	cfg := o.Config()
+	config.SetDefault(cfg)
+	metrics.SetEnabled(o.Metrics)
 	if o.Trace != "" || o.JSONL != "" || o.Manifest != "" {
 		obs.Enable()
 	}
@@ -111,9 +119,18 @@ func (o *Options) Start(tool string) (*Run, context.Context, error) {
 		go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
 	}
 	m := obs.NewManifest(tool)
-	m.Workers = runner.Workers()
+	m.Workers = cfg.WorkerCount()
+	m.SetKnobs(map[string]string{
+		"BIODEG_WORKERS":     positive(o.Workers),
+		"BIODEG_METRICS":     boolEnv(o.Metrics),
+		"BIODEG_LIBCACHE":    o.LibCache,
+		"BIODEG_TRACE":       o.Trace,
+		"BIODEG_TRACE_JSONL": o.JSONL,
+		"BIODEG_MANIFEST":    o.Manifest,
+		"BIODEG_PPROF":       o.Pprof,
+	})
 	ctx, root := obs.Start(context.Background(), "run", obs.KV("tool", tool))
-	return &Run{Opts: o, Manifest: m, root: root, start: time.Now()}, ctx, nil
+	return &Run{Opts: o, Manifest: m, root: root, start: time.Now()}, config.WithContext(ctx, cfg), nil
 }
 
 // Finish ends the root span and writes every requested sink. It
@@ -145,14 +162,6 @@ func (r *Run) Finish() error {
 		keep(r.Manifest.WriteFile(o.Manifest))
 	}
 	return firstErr
-}
-
-func setenv(key, value string) {
-	if value == "" {
-		os.Unsetenv(key)
-		return
-	}
-	os.Setenv(key, value)
 }
 
 func positive(n int) string {

@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/obs"
+	"repro/internal/runner/metrics"
 )
 
 // register parses args against a fresh flag set.
@@ -32,6 +34,10 @@ func pinEnv(t *testing.T) {
 		os.Unsetenv(k)
 	}
 	t.Cleanup(obs.Disable)
+	t.Cleanup(func() {
+		config.SetDefault(config.Config{})
+		metrics.SetEnabled(false)
+	})
 }
 
 func TestEnvProvidesDefaults(t *testing.T) {
@@ -53,20 +59,30 @@ func TestFlagsOverrideEnv(t *testing.T) {
 	if o.Workers != 2 || o.Metrics {
 		t.Errorf("flags should beat env: %+v", o)
 	}
-	run, _, err := o.Start("test")
+	run, ctx, err := o.Start("test")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer run.Finish()
-	// Start republishes the effective values so env readers agree.
-	if got := os.Getenv("BIODEG_WORKERS"); got != "2" {
-		t.Errorf("BIODEG_WORKERS = %q after Start, want 2", got)
+	// Start installs the effective values as the process default
+	// configuration (it no longer republishes them into the env).
+	if got := config.Default().Workers; got != 2 {
+		t.Errorf("default config workers = %d after Start, want 2", got)
 	}
-	if got := os.Getenv("BIODEG_METRICS"); got != "" {
-		t.Errorf("BIODEG_METRICS = %q after Start, want unset", got)
+	if config.Default().Metrics || metrics.Enabled() {
+		t.Error("metrics should be off after Start with -metrics=false")
+	}
+	if got := config.Get(ctx).Workers; got != 2 {
+		t.Errorf("Start context carries workers = %d, want 2", got)
+	}
+	if got := os.Getenv("BIODEG_WORKERS"); got != "5" {
+		t.Errorf("BIODEG_WORKERS = %q after Start; Start must not touch the env", got)
 	}
 	if run.Manifest.Workers != 2 {
 		t.Errorf("manifest workers = %d, want 2", run.Manifest.Workers)
+	}
+	if run.Manifest.Env["BIODEG_WORKERS"] != "2" {
+		t.Errorf("manifest knobs = %+v, want BIODEG_WORKERS=2", run.Manifest.Env)
 	}
 }
 

@@ -1,0 +1,79 @@
+// Package config carries the reproduction's runtime knobs — worker
+// count, metrics reporting, library disk cache — explicitly instead of
+// through BIODEG_* process environment variables.
+//
+// A Config travels two ways. Per-call configuration rides a context
+// (WithContext/FromContext): biodeg.Session attaches its options to
+// every context it hands the internal packages, so two sessions with
+// different worker counts coexist in one process. Process-wide defaults
+// (SetDefault/Default) back the code paths that have no context — lazy
+// technology characterization, the package-default session — and are
+// set once at startup by internal/cli from the parsed flags.
+//
+// Lookup order everywhere is: context value, else process default,
+// else the zero Config (whose WorkerCount resolves to GOMAXPROCS).
+package config
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// Config is one coherent set of runtime knobs. The zero value means
+// "all defaults": GOMAXPROCS workers, no metrics report, no library
+// disk cache.
+type Config struct {
+	Workers  int    // worker-pool size; <= 0 means GOMAXPROCS
+	Metrics  bool   // print the per-stage wall-time report
+	LibCache string // directory persisting characterized libraries
+}
+
+// WorkerCount resolves the effective worker-pool size.
+func (c Config) WorkerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// def is the process-wide default, read when a context carries no
+// Config. Stored as a pointer so reads are a single atomic load.
+var def atomic.Pointer[Config]
+
+// SetDefault installs the process-wide default configuration
+// (internal/cli calls this once from the parsed flag values).
+func SetDefault(c Config) { def.Store(&c) }
+
+// Default returns the process-wide default configuration, or the zero
+// Config if none was installed.
+func Default() Config {
+	if p := def.Load(); p != nil {
+		return *p
+	}
+	return Config{}
+}
+
+// ctxKey carries a Config through a context.
+type ctxKey struct{}
+
+// WithContext returns a context carrying c; Get on the result (and on
+// contexts derived from it) returns c.
+func WithContext(ctx context.Context, c Config) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the Config carried by ctx, if any.
+func FromContext(ctx context.Context) (Config, bool) {
+	c, ok := ctx.Value(ctxKey{}).(Config)
+	return c, ok
+}
+
+// Get resolves the effective configuration for ctx: the context's
+// Config when one was attached, else the process default.
+func Get(ctx context.Context) Config {
+	if c, ok := FromContext(ctx); ok {
+		return c
+	}
+	return Default()
+}

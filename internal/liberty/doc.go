@@ -8,7 +8,7 @@
 // Key entry points: Library.Cell/MustCell look cells up; LUT.At is the
 // bilinear-interpolating table read on every timing-arc evaluation;
 // Library.FO4 is the canonical technology-speed metric; Read and Write
-// (de)serialize the internal text format for the BIODEG_LIBCACHE disk
+// (de)serialize the internal text format for the -libcache disk
 // cache, and WriteSynopsys exports real Synopsys .lib syntax.
 //
 // Concurrency contract: a Library and everything it contains is

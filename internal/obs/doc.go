@@ -42,9 +42,11 @@
 //
 // # Manifest
 //
-// NewManifest captures the Go runtime configuration, every BIODEG_*
-// knob in effect, and the command line; AddExperiment appends one
-// experiment's wall time and SHA-256 digests of its rendered tables.
+// NewManifest captures the Go runtime configuration and the command
+// line; SetKnobs records the effective configuration knobs (keyed by
+// their historical BIODEG_* spellings so manifests stay diffable);
+// AddExperiment appends one experiment's wall time and SHA-256 digests
+// of its rendered tables.
 // Two runs with the same configuration produce byte-identical
 // manifests apart from the *_wall_ms timing fields, making a manifest
 // diff the cheapest possible regression check.

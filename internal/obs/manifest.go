@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 )
 
@@ -41,7 +40,7 @@ type Manifest struct {
 	GOARCH      string             `json:"goarch"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Workers     int                `json:"workers"`
-	Env         map[string]string  `json:"env"`  // every BIODEG_* knob in effect
+	Env         map[string]string  `json:"env"`  // effective knobs, filled by SetKnobs
 	Args        []string           `json:"args"` // command-line arguments
 	Experiments []ExperimentRecord `json:"experiments"`
 	Spans       int                `json:"spans"`
@@ -50,10 +49,12 @@ type Manifest struct {
 }
 
 // NewManifest builds a manifest for the named tool, capturing the Go
-// runtime configuration, the effective BIODEG_* environment, and the
-// command-line arguments.
+// runtime configuration and the command-line arguments. The effective
+// knobs block starts empty; the caller records it with SetKnobs (the
+// manifest itself never reads the environment, so the recorded values
+// are exactly the configuration the run used, whatever its source).
 func NewManifest(tool string) *Manifest {
-	m := &Manifest{
+	return &Manifest{
 		Tool:        tool,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -63,15 +64,17 @@ func NewManifest(tool string) *Manifest {
 		Args:        append([]string{}, os.Args[1:]...),
 		Experiments: []ExperimentRecord{},
 	}
-	for _, kv := range os.Environ() {
-		if !strings.HasPrefix(kv, "BIODEG_") {
-			continue
-		}
-		if i := strings.IndexByte(kv, '='); i > 0 {
-			m.Env[kv[:i]] = kv[i+1:]
+}
+
+// SetKnobs records the effective configuration knobs. Keys keep the
+// historical BIODEG_* spellings so manifests stay diffable across
+// versions; empty values are omitted.
+func (m *Manifest) SetKnobs(knobs map[string]string) {
+	for k, v := range knobs {
+		if v != "" {
+			m.Env[k] = v
 		}
 	}
-	return m
 }
 
 // Digest returns the hex SHA-256 of a rendered artifact.

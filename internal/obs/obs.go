@@ -77,35 +77,77 @@ var (
 // slot pointers.
 const DefaultCapacity = 1 << 18
 
-// Enable starts collecting spans into a fresh buffer of
+// newState allocates a span buffer of capacity n.
+func newState(n int) *state {
+	if n < 1 {
+		n = 1
+	}
+	return &state{begin: time.Now(), slots: make([]atomic.Pointer[Span], n)}
+}
+
+// Tracer is one independent span collector. The package-level
+// Enable/Collect pair operates a single process-wide tracer (what the
+// CLI sinks use); a Tracer created with NewTracer and attached to a
+// context via ContextWithTracer collects only the spans started under
+// that context — so two biodeg.Sessions can trace into separate
+// buffers in one process.
+type Tracer struct {
+	st *state
+}
+
+// NewTracer returns an independent collector with DefaultCapacity.
+func NewTracer() *Tracer { return NewTracerCapacity(DefaultCapacity) }
+
+// NewTracerCapacity is NewTracer with an explicit buffer size. Once the
+// buffer is full, later spans are counted as dropped rather than
+// recorded.
+func NewTracerCapacity(n int) *Tracer { return &Tracer{st: newState(n)} }
+
+// Collect snapshots this tracer's buffer: every span that has ended so
+// far, sorted by start time, plus the overflow drop count.
+func (t *Tracer) Collect() Trace { return collect(t.st) }
+
+// Enable starts collecting spans into a fresh process-wide buffer of
 // DefaultCapacity. Spans started before Enable are not recorded.
 func Enable() { EnableCapacity(DefaultCapacity) }
 
 // EnableCapacity is Enable with an explicit buffer size (used by tests
 // to exercise overflow). Once the buffer is full, later spans are
 // counted as dropped rather than recorded.
-func EnableCapacity(n int) {
-	if n < 1 {
-		n = 1
-	}
-	cur.Store(&state{begin: time.Now(), slots: make([]atomic.Pointer[Span], n)})
-}
+func EnableCapacity(n int) { cur.Store(newState(n)) }
 
-// Disable stops collection and discards the current buffer.
+// Disable stops process-wide collection and discards the current
+// buffer. Context-attached Tracers are unaffected.
 func Disable() { cur.Store(nil) }
 
-// Enabled reports whether spans are currently being collected. The
+// Enabled reports whether the process-wide collector is active. The
 // check is a single atomic load, so callers may gate optional
-// instrumentation on it in hot loops.
+// instrumentation on it in hot loops. Spans under a context-attached
+// Tracer are recorded regardless.
 func Enabled() bool { return cur.Load() != nil }
 
 // spanKey carries the current span through a context for parenting.
 type spanKey struct{}
 
+// tracerKey carries a context-attached Tracer.
+type tracerKey struct{}
+
 // FromContext returns the span recorded in ctx by Start, or nil.
 func FromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanKey{}).(*Span)
 	return s
+}
+
+// ContextWithTracer returns a context under which Start records spans
+// into tr instead of the process-wide buffer.
+func ContextWithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFromContext returns the Tracer attached to ctx, or nil.
+func TracerFromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
 }
 
 // Start begins a span named name, parented to the span in ctx (if any).
@@ -124,6 +166,9 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		}
 	}
 	st := cur.Load()
+	if tr := TracerFromContext(ctx); tr != nil {
+		st = tr.st // a context-attached tracer wins over the global one
+	}
 	if st == nil {
 		s.start = time.Now()
 		return ctx, s
@@ -187,11 +232,13 @@ type Trace struct {
 	Dropped int64        // spans lost to buffer overflow
 }
 
-// Collect snapshots the current buffer: every span that has ended so
-// far, sorted by start time, plus the overflow drop count. Collect does
-// not stop collection; call it after the traced work has finished.
-func Collect() Trace {
-	st := cur.Load()
+// Collect snapshots the process-wide buffer: every span that has ended
+// so far, sorted by start time, plus the overflow drop count. Collect
+// does not stop collection; call it after the traced work has finished.
+func Collect() Trace { return collect(cur.Load()) }
+
+// collect snapshots one buffer (nil-safe).
+func collect(st *state) Trace {
 	if st == nil {
 		return Trace{}
 	}

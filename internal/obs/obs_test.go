@@ -290,8 +290,8 @@ func TestJSONLRoundTrip(t *testing.T) {
 // TestManifestRoundTrip writes a populated manifest to disk, reads it
 // back, and checks the encoding is deterministic.
 func TestManifestRoundTrip(t *testing.T) {
-	t.Setenv("BIODEG_WORKERS", "3")
 	m := NewManifest("testtool")
+	m.SetKnobs(map[string]string{"BIODEG_WORKERS": "3", "BIODEG_TRACE": ""})
 	m.Workers = 3
 	m.AddExperiment("fig3", "transfer curves", 1500*time.Millisecond, []TableDigest{
 		{Title: "t1", SHA256: Digest("rendered table one")},
@@ -312,6 +312,9 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if got.Env["BIODEG_WORKERS"] != "3" {
 		t.Errorf("manifest env missing BIODEG_WORKERS: %+v", got.Env)
+	}
+	if _, ok := got.Env["BIODEG_TRACE"]; ok {
+		t.Errorf("empty knob should be omitted: %+v", got.Env)
 	}
 	// Deterministic encoding: two encodes are byte-identical.
 	a, err := m.Encode()

@@ -4,8 +4,9 @@
 // sweeps, and the experiment registry itself — runs through the same
 // two primitives:
 //
-//   - Map / ForEach: a bounded worker pool (sized by
-//     runtime.GOMAXPROCS, overridable with BIODEG_WORKERS) that executes
+//   - Map / ForEach: a bounded worker pool (sized by the
+//     configuration carried in the context — see internal/config —
+//     falling back to runtime.GOMAXPROCS) that executes
 //     n index-addressed tasks, returns results in index order
 //     regardless of completion order, captures the first error,
 //     cancels the remaining tasks through the context, and converts
@@ -21,5 +22,5 @@
 // function, never on scheduling, so a parallel sweep is bit-identical
 // to the serial loop it replaced. Sub-package metrics adds the
 // instrumentation layer (stage counters, wall-time histograms, the
-// progress hook, and the BIODEG_METRICS report).
+// progress hook, and the per-stage report behind the -metrics flag).
 package runner

@@ -6,9 +6,8 @@
 //
 // Recording is always cheap (atomic adds into power-of-ten latency
 // buckets) and safe from any goroutine. The commands emit Report to
-// stderr when the BIODEG_METRICS environment variable is set to a
-// non-empty value other than "0"; libraries record unconditionally and
-// never print. OnProgress installs a callback fired after every
+// stderr when the -metrics flag (SetEnabled) asks for it; libraries
+// record unconditionally and never print. OnProgress installs a callback fired after every
 // observation — the hook for driving progress bars or log lines from a
 // sweep without touching the sweep code.
 package metrics

@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -84,12 +83,19 @@ func stats(stage string) *stageStats {
 	return s
 }
 
-// Enabled reports whether the BIODEG_METRICS environment variable asks
-// for the text report (set and not "0").
-func Enabled() bool {
-	v := os.Getenv("BIODEG_METRICS")
-	return v != "" && v != "0"
-}
+// enabled gates the text report. Recording via Observe/Add is always
+// on (it is cheap and lock-free); this flag only says whether a
+// command should print the report. It is set explicitly — by
+// internal/cli from the -metrics flag, or by a biodeg.Session option —
+// never read from the environment here.
+var enabled atomic.Bool
+
+// SetEnabled turns the process-default metrics report on or off.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the metrics report was requested via
+// SetEnabled.
+func Enabled() bool { return enabled.Load() }
 
 // Observe records one completed unit of work in a stage: it bumps the
 // stage counter, accumulates wall time into the histogram, and fires

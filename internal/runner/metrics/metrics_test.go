@@ -93,17 +93,18 @@ func TestConcurrentObserve(t *testing.T) {
 }
 
 func TestEnabled(t *testing.T) {
-	t.Setenv("BIODEG_METRICS", "")
+	defer SetEnabled(false)
+	SetEnabled(false)
 	if Enabled() {
-		t.Error("enabled with empty env")
+		t.Error("enabled before SetEnabled(true)")
 	}
-	t.Setenv("BIODEG_METRICS", "0")
-	if Enabled() {
-		t.Error("enabled with BIODEG_METRICS=0")
-	}
-	t.Setenv("BIODEG_METRICS", "1")
+	SetEnabled(true)
 	if !Enabled() {
-		t.Error("not enabled with BIODEG_METRICS=1")
+		t.Error("not enabled after SetEnabled(true)")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Error("still enabled after SetEnabled(false)")
 	}
 }
 

@@ -3,26 +3,26 @@ package runner
 import (
 	"context"
 	"fmt"
-	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/obs"
 )
 
-// Workers returns the worker-pool size: BIODEG_WORKERS when set to a
-// positive integer, else runtime.GOMAXPROCS(0).
-func Workers() int {
-	if s := os.Getenv("BIODEG_WORKERS"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
-		}
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// Workers returns the process-default worker-pool size: the installed
+// config.Default().Workers when positive, else runtime.GOMAXPROCS(0).
+// The pool itself sizes per call from the context (WorkersFor), so two
+// sessions with different worker counts share no pool state.
+func Workers() int { return config.Default().WorkerCount() }
+
+// WorkersFor resolves the worker count ForEach will use for ctx: the
+// context-carried config when one is attached (biodeg.Session attaches
+// its own), else the process default.
+func WorkersFor(ctx context.Context) int { return config.Get(ctx).WorkerCount() }
 
 // PanicError wraps a panic recovered inside a worker so callers see an
 // ordinary error (with the panicking task's index) instead of a crash.
@@ -70,7 +70,7 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	if n <= 0 {
 		return ctx.Err()
 	}
-	workers := Workers()
+	workers := WorkersFor(ctx)
 	if workers > n {
 		workers = n
 	}
@@ -183,6 +183,18 @@ func (mm *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// Forget drops the entry for key so the next Do recomputes it. Waiters
+// of an in-flight computation under this key still receive its result;
+// only future Do calls start fresh. This turns a Memo into a pure
+// singleflight layer: callers that keep results in their own bounded
+// cache Forget each key as its flight completes, so the Memo holds
+// in-flight entries only and never grows without bound.
+func (mm *Memo[K, V]) Forget(key K) {
+	mm.mu.Lock()
+	delete(mm.m, key)
+	mm.mu.Unlock()
 }
 
 // Len reports the number of cached (successful) entries plus in-flight

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/config"
 )
 
 func TestMapOrdering(t *testing.T) {
@@ -197,13 +199,55 @@ func TestMemoPanicBecomesError(t *testing.T) {
 	}
 }
 
-func TestWorkersEnvOverride(t *testing.T) {
-	t.Setenv("BIODEG_WORKERS", "3")
-	if w := Workers(); w != 3 {
-		t.Errorf("Workers = %d, want 3", w)
+func TestWorkersFromContextConfig(t *testing.T) {
+	ctx := config.WithContext(context.Background(), config.Config{Workers: 3})
+	if w := WorkersFor(ctx); w != 3 {
+		t.Errorf("WorkersFor = %d, want 3", w)
 	}
-	t.Setenv("BIODEG_WORKERS", "bogus")
-	if w := Workers(); w < 1 {
-		t.Errorf("Workers = %d with bogus env, want >= 1", w)
+	if w := WorkersFor(context.Background()); w < 1 {
+		t.Errorf("WorkersFor(bare) = %d, want >= 1", w)
+	}
+}
+
+// maxConcurrency runs n sleeping tasks under ctx and reports the
+// highest number simultaneously inside fn.
+func maxConcurrency(t *testing.T, ctx context.Context, n int) int64 {
+	t.Helper()
+	var cur, max atomic.Int64
+	err := ForEach(ctx, n, func(ctx context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return max.Load()
+}
+
+// TestPoolSizeIsPerContext proves pool state is not shared across
+// configurations: a serial context and a 4-worker context, running
+// concurrently, each observe exactly their own parallelism.
+func TestPoolSizeIsPerContext(t *testing.T) {
+	ctxSerial := config.WithContext(context.Background(), config.Config{Workers: 1})
+	ctxWide := config.WithContext(context.Background(), config.Config{Workers: 4})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var serialMax, wideMax int64
+	go func() { defer wg.Done(); serialMax = maxConcurrency(t, ctxSerial, 8) }()
+	go func() { defer wg.Done(); wideMax = maxConcurrency(t, ctxWide, 8) }()
+	wg.Wait()
+	if serialMax != 1 {
+		t.Errorf("serial context reached concurrency %d, want 1", serialMax)
+	}
+	if wideMax != 4 {
+		t.Errorf("4-worker context reached concurrency %d, want 4", wideMax)
 	}
 }

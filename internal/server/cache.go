@@ -1,0 +1,71 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a small mutex-guarded LRU keyed by request digest,
+// holding rendered response bodies. It bounds daemon memory no matter
+// how many distinct sweeps clients ask for; the singleflight layer in
+// front of it handles the concurrent-identical-request case, so the
+// cache itself stays simple.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent
+	byKey map[string]*list.Element // value: *cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached body for key and refreshes its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Add stores body under key, evicting the least-recently-used entry
+// when the cache is full.
+func (c *resultCache) Add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached responses.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

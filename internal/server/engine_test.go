@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/biodeg/api"
+)
+
+// The SessionEngine tests stick to paths that avoid technology
+// characterization (registry listing, validation, the pure cycle-level
+// simulator), keeping the package's test time in milliseconds.
+
+func TestSessionEngineExperiments(t *testing.T) {
+	eng := NewSessionEngine(nil)
+	exps := eng.Experiments()
+	if len(exps) == 0 {
+		t.Fatal("empty experiment registry")
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" {
+			t.Errorf("incomplete entry %+v", e)
+		}
+		ids[e.ID] = true
+	}
+	if !ids["fig3"] {
+		t.Errorf("registry missing fig3: %v", ids)
+	}
+}
+
+func TestSessionEngineErrors(t *testing.T) {
+	eng := NewSessionEngine(nil)
+	ctx := context.Background()
+
+	if _, err := eng.RunExperiment(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown experiment error = %v, want ErrNotFound", err)
+	}
+	if _, err := eng.Sweep(ctx, api.SweepALUDepth, api.SweepRequest{Tech: "gallium"}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("unknown tech error = %v, want ErrBadRequest", err)
+	}
+	if _, err := eng.Sweep(ctx, api.SweepCoreDepth, api.SweepRequest{MinDepth: 12, MaxDepth: 10}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("inverted bounds error = %v, want ErrBadRequest", err)
+	}
+	if _, err := eng.Simulate(ctx, api.SimulateRequest{Bench: "nope"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown benchmark error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSessionEngineSimulate(t *testing.T) {
+	eng := NewSessionEngine(nil)
+	res, err := eng.Simulate(context.Background(), api.SimulateRequest{Bench: "dhrystone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != api.Version || res.Bench != "dhrystone" {
+		t.Errorf("result envelope = %+v", res)
+	}
+	if res.Stats.IPC <= 0 || res.Stats.IPC > 1 {
+		t.Errorf("scalar-core IPC = %v, want (0, 1]", res.Stats.IPC)
+	}
+}

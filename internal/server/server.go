@@ -1,0 +1,274 @@
+// Package server is the HTTP/JSON transport of the reproduction: the
+// biodegd daemon serves the experiment registry, the parameterized
+// design-space sweeps, and IPC simulation over the wire types of
+// biodeg/api, designed to absorb heavy concurrent traffic in front of
+// computations that each cost seconds to minutes.
+//
+// The request path layers four defenses between the socket and the
+// engine:
+//
+//  1. A bounded LRU of rendered responses, keyed by the SHA-256 digest
+//     of (route, body): repeat requests are served from memory with
+//     X-Biodeg-Cache: hit.
+//  2. An admission semaphore bounding in-flight computations; requests
+//     beyond the bound are shed immediately with 429 and Retry-After
+//     rather than queued without limit.
+//  3. Singleflight coalescing (runner.Memo) of identical concurrent
+//     requests: one computation runs, every waiter shares its result
+//     (X-Biodeg-Cache: coalesced), and the flight is forgotten once the
+//     LRU holds the rendered body.
+//  4. A per-request deadline derived from the request context, so a
+//     stuck sweep cannot pin a connection forever.
+//
+// Progress of the underlying sweeps streams to any number of clients
+// over Server-Sent Events at GET /v1/progress, fed by the process-wide
+// metrics progress hook.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/runner/metrics"
+)
+
+// CacheHeader reports how a cacheable response was produced: "hit"
+// (served from the LRU), "miss" (this request led the computation), or
+// "coalesced" (attached to an identical in-flight computation).
+const CacheHeader = "X-Biodeg-Cache"
+
+// Options tunes the server's traffic posture. The zero value gets
+// sensible defaults from New.
+type Options struct {
+	// MaxInflight bounds concurrently admitted computations; further
+	// requests are shed with 429. Default 2 x GOMAXPROCS.
+	MaxInflight int
+	// CacheSize bounds the rendered-response LRU. Default 256.
+	CacheSize int
+	// RequestTimeout caps each computation; 0 means no cap beyond the
+	// client's own disconnect.
+	RequestTimeout time.Duration
+}
+
+// Server is the biodegd HTTP handler. Create with New; it is an
+// http.Handler serving every route.
+type Server struct {
+	eng      Engine
+	opts     Options
+	mux      *http.ServeMux
+	sem      chan struct{}
+	flight   runner.Memo[string, []byte]
+	cache    *resultCache
+	progress *progressBroker
+	inflight atomic.Int64
+	shed     atomic.Int64
+	started  time.Time
+}
+
+// New builds the server around eng and installs the progress broker as
+// the process-wide metrics hook (the daemon owns its process, so the
+// hook slot is the server's to take).
+func New(eng Engine, opts Options) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 256
+	}
+	s := &Server{
+		eng:      eng,
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, opts.MaxInflight),
+		cache:    newResultCache(opts.CacheSize),
+		progress: newProgressBroker(),
+		started:  time.Now(),
+	}
+	metrics.OnProgress(s.progress.hook)
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
+	s.mux.HandleFunc("POST /v1/sweeps/{kind}", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// maxBody bounds request bodies; every legitimate request is tiny JSON.
+const maxBody = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	writeJSONBytes(w, status, b)
+}
+
+func writeJSONBytes(w http.ResponseWriter, status int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	writeJSONBytes(w, status, b)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_s":   time.Since(s.started).Seconds(),
+		"inflight":   s.inflight.Load(),
+		"shed_total": s.shed.Load(),
+		"cached":     s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, metrics.Report()) //nolint:errcheck
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":     "v1",
+		"experiments": s.eng.Experiments(),
+	})
+}
+
+// errStatus maps an engine error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The leading client went away; waiters see its cancellation.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// serveComputed is the shared path of every expensive endpoint: LRU
+// lookup, admission, singleflight, compute, render, cache. route and
+// body together form the identity of the computation.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route string, compute func(ctx context.Context) (any, error)) {
+	key := obs.Digest(route)
+
+	if b, ok := s.cache.Get(key); ok {
+		w.Header().Set(CacheHeader, "hit")
+		writeJSONBytes(w, http.StatusOK, b)
+		return
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("server at capacity (%d in flight); retry later", s.opts.MaxInflight))
+		return
+	}
+
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+
+	led := false
+	body, err := s.flight.Do(key, func() ([]byte, error) {
+		led = true
+		v, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	})
+	if err != nil {
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	if led {
+		// Promote the rendered body into the LRU and retire the flight:
+		// the Memo stays a pure coalescing layer, the LRU the only
+		// long-lived store (bounded, unlike the Memo's success cache).
+		s.cache.Add(key, body)
+		s.flight.Forget(key)
+		w.Header().Set(CacheHeader, "miss")
+	} else {
+		w.Header().Set(CacheHeader, "coalesced")
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	if len(body) > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"body exceeds "+strconv.Itoa(maxBody)+" bytes")
+		return nil, false
+	}
+	return body, true
+}
+
+// decode unmarshals body into v, tolerating an empty body (all-default
+// request) and rejecting unknown fields so typos fail loudly.
+func decode(w http.ResponseWriter, body []byte, v any) bool {
+	if len(body) == 0 {
+		return true
+	}
+	dec := json.NewDecoder(bytesReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: "+err.Error())
+		return false
+	}
+	return true
+}

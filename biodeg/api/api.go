@@ -65,6 +65,9 @@ type ALUPoint struct {
 	StageLogic float64 `json:"stage_logic_s"`
 	RegOver    float64 `json:"reg_overhead_s"`
 	WireOver   float64 `json:"wire_overhead_s"`
+	// Err marks a point that failed under a partial-results (chaos)
+	// sweep; its numeric fields are zero.
+	Err string `json:"error,omitempty"`
 }
 
 // DepthPoint is one depth of the Figure 11 core pipeline sweep.
@@ -77,6 +80,10 @@ type DepthPoint struct {
 	Cuts     map[string]int     `json:"cuts,omitempty"`
 	IPC      map[string]float64 `json:"ipc,omitempty"`
 	Perf     map[string]float64 `json:"perf,omitempty"`
+	// Errors maps benchmarks whose IPC simulation failed under a
+	// partial-results (chaos) sweep to a short cause; those benchmarks
+	// are absent from IPC/Perf.
+	Errors map[string]string `json:"errors,omitempty"`
 }
 
 // WidthPoint is one (front-end, back-end) superscalar configuration of
@@ -89,6 +96,9 @@ type WidthPoint struct {
 	AreaM2  float64 `json:"area_m2"`
 	MeanIPC float64 `json:"mean_ipc"`
 	Perf    float64 `json:"perf"`
+	// Err marks a configuration that failed under a partial-results
+	// (chaos) sweep; its numeric fields are zero.
+	Err string `json:"error,omitempty"`
 }
 
 // SweepResult is the response of POST /v1/sweeps/{kind}. Exactly one of
@@ -114,6 +124,7 @@ func FromALUPoints(pts []biodeg.ALUPoint) []ALUPoint {
 			StageLogic: p.StageLogic,
 			RegOver:    p.RegOver,
 			WireOver:   p.WireOver,
+			Err:        p.Err,
 		}
 	}
 	return out
@@ -136,6 +147,7 @@ func FromDepthPoints(pts []biodeg.DepthPoint) []DepthPoint {
 			Cuts:     cuts,
 			IPC:      p.IPC,
 			Perf:     p.Perf,
+			Errors:   p.Errors,
 		}
 	}
 	return out
@@ -153,6 +165,7 @@ func FromWidthPoints(pts []biodeg.WidthPoint) []WidthPoint {
 			AreaM2:  p.Area,
 			MeanIPC: p.MeanIPC,
 			Perf:    p.Perf,
+			Err:     p.Err,
 		}
 	}
 	return out
@@ -266,11 +279,14 @@ type Table struct {
 	Rows  []string    `json:"rows"`
 	V     [][]float64 `json:"values"`
 	Note  string      `json:"note,omitempty"`
+	// Errors lists grid points that failed under a partial-results
+	// (chaos) run, one "site: cause" entry each; their cells are 0.
+	Errors []string `json:"errors,omitempty"`
 }
 
 // FromTable converts an experiment table to wire form.
 func FromTable(t *biodeg.Table) Table {
-	return Table{Title: t.Title, Cols: t.Cols, Rows: t.Rows, V: t.V, Note: t.Note}
+	return Table{Title: t.Title, Cols: t.Cols, Rows: t.Rows, V: t.V, Note: t.Note, Errors: t.Errors}
 }
 
 // ExperimentInfo is one registry entry of GET /v1/experiments.

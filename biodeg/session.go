@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner/metrics"
@@ -33,6 +34,13 @@ type Session struct {
 	metrics  *bool
 	libCache *string
 	tracer   *obs.Tracer
+
+	// Resilience options (see WithFaults, WithPartialResults,
+	// WithRetries, WithStageTimeout).
+	inj          *fault.Injector
+	partial      *bool
+	retries      *int
+	stageTimeout *time.Duration
 }
 
 // Option configures a Session at New time.
@@ -75,6 +83,45 @@ func WithTracer(tr *Tracer) Option {
 	return func(s *Session) { s.tracer = tr }
 }
 
+// FaultSpec is a parsed fault-injection plan (see ParseFaults and
+// internal/fault for the spec syntax and fault model).
+type FaultSpec = fault.Spec
+
+// ParseFaults reads the -faults flag syntax, e.g.
+// "seed=1,rate=0.1,kinds=error+latency,stages=depth-point".
+func ParseFaults(s string) (FaultSpec, error) { return fault.Parse(s) }
+
+// WithFaults gives the session its own deterministic fault injector:
+// every sweep the session runs draws injections from spec, independent
+// of the process-wide -faults posture. A disabled spec (zero value)
+// leaves the session following the process default. Chaos sweeps
+// usually pair this with WithPartialResults(true) and WithRetries.
+func WithFaults(spec FaultSpec) Option {
+	return func(s *Session) { s.inj = fault.New(spec) }
+}
+
+// WithPartialResults makes the session's design-space sweeps annotate
+// failed grid points (DepthPoint.Errors, the Err fields of ALUPoint and
+// WidthPoint) and keep going instead of aborting on the first error.
+func WithPartialResults(on bool) Option {
+	return func(s *Session) { s.partial = &on }
+}
+
+// WithRetries gives every sweep task a per-task retry budget: a failed
+// grid point is re-attempted up to n times with exponential backoff
+// before it counts as failed. n <= 0 disables retrying.
+func WithRetries(n int) Option {
+	return func(s *Session) { s.retries = &n }
+}
+
+// WithStageTimeout bounds each task attempt (one grid point, one
+// benchmark simulation) with its own deadline, so a wedged stage fails
+// that attempt instead of pinning the sweep. d <= 0 means no deadline
+// beyond the caller's context.
+func WithStageTimeout(d time.Duration) Option {
+	return func(s *Session) { s.stageTimeout = &d }
+}
+
 // New builds a Session from the given options.
 func New(opts ...Option) *Session {
 	s := &Session{}
@@ -101,6 +148,18 @@ func (s *Session) config() config.Config {
 	if s.libCache != nil {
 		c.LibCache = *s.libCache
 	}
+	if s.partial != nil {
+		c.PartialResults = *s.partial
+	}
+	if s.retries != nil {
+		c.Retries = *s.retries
+	}
+	if s.stageTimeout != nil {
+		c.StageTimeout = *s.stageTimeout
+	}
+	if s.inj != nil {
+		c.Faults = s.inj.Spec().String()
+	}
 	return c
 }
 
@@ -111,8 +170,16 @@ func (s *Session) bind(ctx context.Context) context.Context {
 	if s.tracer != nil {
 		ctx = obs.ContextWithTracer(ctx, s.tracer)
 	}
+	if s.inj != nil {
+		ctx = fault.WithInjector(ctx, s.inj)
+	}
 	return ctx
 }
+
+// FaultCounters reports what the session's own injector has fired so
+// far (zero counters when the session has no WithFaults injector and
+// thus follows the process default).
+func (s *Session) FaultCounters() fault.Counters { return s.inj.Snapshot() }
 
 // Workers reports the worker-pool size the session's sweeps use.
 func (s *Session) Workers() int { return s.config().WorkerCount() }

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	biodegd [-addr :8080] [-max-inflight N] [-cache N]
-//	        [-request-timeout 5m] [-drain-timeout 30s] [common flags]
+//	        [-request-timeout 5m] [-drain-timeout 30s]
+//	        [-breaker-threshold N] [-breaker-cooldown 5s] [common flags]
 //
 // Endpoints:
 //
 //	GET  /healthz                    liveness + traffic counters
 //	GET  /metricsz                   per-stage wall-time report
+//	GET  /v1/faultz                  chaos counters + breaker state
 //	GET  /v1/experiments             registry listing
 //	POST /v1/experiments/{id}/run    run one experiment
 //	POST /v1/sweeps/{kind}           alu-depth | core-depth | width
@@ -19,12 +21,18 @@
 //	GET  /debug/pprof/               runtime profiles
 //
 // Expensive responses carry X-Biodeg-Cache: hit | miss | coalesced.
-// SIGINT/SIGTERM drains in-flight requests (bounded by -drain-timeout)
-// before exit, then writes any requested trace/manifest sinks.
+// A request shed by the admission semaphore gets 429 + Retry-After; a
+// request rejected by the open circuit breaker (consecutive engine
+// failures) gets 503 + Retry-After. SIGINT/SIGTERM drains in-flight
+// requests (bounded by -drain-timeout) before exit, then writes any
+// requested trace/manifest sinks.
 //
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
-// -trace, -jsonl, -manifest, -pprof.
+// -trace, -jsonl, -manifest, -pprof, -faults, -retries,
+// -stage-timeout, -partial. With -faults the daemon injects
+// deterministic chaos into its own sweeps (sites "server:{path}",
+// "depth-point:...", ...) and reports counters at /v1/faultz.
 package main
 
 import (
@@ -50,6 +58,8 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "rendered-response LRU capacity")
 	reqTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-computation deadline, 0 = none")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive engine failures opening the circuit breaker, 0 = default, -1 = disabled")
+	brkCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker rest before the half-open probe, 0 = default")
 	flag.Parse()
 
 	run, _, err := opts.Start("biodegd")
@@ -66,9 +76,11 @@ func main() {
 		biodeg.WithLibCache(opts.LibCache),
 	)
 	srv := server.New(server.NewSessionEngine(session), server.Options{
-		MaxInflight:    *maxInflight,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *reqTimeout,
+		MaxInflight:      *maxInflight,
+		CacheSize:        *cacheSize,
+		RequestTimeout:   *reqTimeout,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

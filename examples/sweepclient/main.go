@@ -5,6 +5,12 @@
 // versioned wire types of biodeg/api, with no import of the simulation
 // packages themselves.
 //
+// The client is a polite citizen of a loaded daemon: when a request is
+// shed (429, admission semaphore full) or rejected by the open circuit
+// breaker (503), it honors the Retry-After header — capped, with an
+// exponential-backoff fallback when the header is absent — and retries
+// up to maxRetries times before giving up.
+//
 // Start the daemon first, then point the client at it:
 //
 //	go run ./cmd/biodegd -addr localhost:8080 &
@@ -19,9 +25,18 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/biodeg/api"
+)
+
+const (
+	// maxRetries bounds re-sends of one request after 429/503 responses.
+	maxRetries = 5
+	// maxRetryAfter caps how long a single Retry-After hint can make the
+	// client sleep, so a confused server cannot park it for minutes.
+	maxRetryAfter = 10 * time.Second
 )
 
 func main() {
@@ -41,6 +56,10 @@ func main() {
 		cacheState := post(client, base+"/v1/sweeps/"+api.SweepALUDepth, req, &res)
 		fmt.Printf("\nALU sweep attempt %d (%s):\n", attempt, cacheState)
 		for _, p := range res.ALU {
+			if p.Err != "" {
+				fmt.Printf("  %d stages: FAILED (%s)\n", p.Stages, p.Err)
+				continue
+			}
 			fmt.Printf("  %d stages: %8.3f Hz, %6.2f cm^2\n", p.Stages, p.FreqHz, p.AreaM2*1e4)
 		}
 	}
@@ -55,11 +74,9 @@ func main() {
 }
 
 func get(client *http.Client, url string, out any) {
-	resp, err := client.Get(url)
-	if err != nil {
-		log.Fatalf("GET %s: %v (is biodegd running?)", url, err)
-	}
-	decodeResponse(resp, url, out)
+	doWithRetry(url, out, func() (*http.Response, error) {
+		return client.Get(url)
+	})
 }
 
 // post sends v and decodes the response into out, returning the
@@ -69,13 +86,59 @@ func post(client *http.Client, url string, v, out any) string {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatalf("POST %s: %v (is biodegd running?)", url, err)
+	resp := doWithRetry(url, out, func() (*http.Response, error) {
+		return client.Post(url, "application/json", bytes.NewReader(body))
+	})
+	return resp.Header.Get("X-Biodeg-Cache")
+}
+
+// doWithRetry issues send() until the response is not a retryable
+// overload signal (429 shed, 503 breaker), sleeping per Retry-After
+// between tries, then decodes it into out. Non-retryable failures are
+// fatal.
+func doWithRetry(url string, out any, send func() (*http.Response, error)) *http.Response {
+	for attempt := 0; ; attempt++ {
+		resp, err := send()
+		if err != nil {
+			log.Fatalf("%s: %v (is biodegd running?)", url, err)
+		}
+		if retryable(resp.StatusCode) && attempt < maxRetries {
+			d := retryDelay(resp, attempt)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "sweepclient: %s returned %d, retrying in %v (attempt %d/%d)\n",
+				url, resp.StatusCode, d, attempt+1, maxRetries)
+			time.Sleep(d)
+			continue
+		}
+		decodeResponse(resp, url, out)
+		return resp
 	}
-	state := resp.Header.Get("X-Biodeg-Cache")
-	decodeResponse(resp, url, out)
-	return state
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryDelay reads the Retry-After header (delay-seconds form), capped
+// at maxRetryAfter; without a usable header it falls back to capped
+// exponential backoff from 250ms.
+func retryDelay(resp *http.Response, attempt int) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > maxRetryAfter {
+				d = maxRetryAfter
+			}
+			if d > 0 {
+				return d
+			}
+		}
+	}
+	d := 250 * time.Millisecond << attempt
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 func decodeResponse(resp *http.Response, url string, out any) {

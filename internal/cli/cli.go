@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner/metrics"
 )
@@ -39,7 +40,18 @@ type Options struct {
 	JSONL    string // -jsonl    / BIODEG_TRACE_JSONL
 	Manifest string // -manifest / BIODEG_MANIFEST
 	Pprof    string // -pprof    / BIODEG_PPROF
+
+	// Resilience flags.
+	Faults       string        // -faults        / BIODEG_FAULTS
+	Retries      int           // -retries       / BIODEG_RETRIES (-1 = auto)
+	StageTimeout time.Duration // -stage-timeout / BIODEG_STAGE_TIMEOUT
+	Partial      bool          // -partial       / BIODEG_PARTIAL
 }
+
+// AutoRetries is the retry budget -retries=-1 resolves to when fault
+// injection is on (a 10% error rate with two retries leaves roughly a
+// 0.1% per-point failure probability — visible but not disruptive).
+const AutoRetries = 2
 
 // envBool mirrors metrics.Enabled's parsing: set and not "0" is true.
 func envBool(key string) bool {
@@ -52,6 +64,16 @@ func envInt(key string, def int) int {
 	if s := os.Getenv(key); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {
 			return n
+		}
+	}
+	return def
+}
+
+// envDuration returns the env var as a duration, else def.
+func envDuration(key string, def time.Duration) time.Duration {
+	if s := os.Getenv(key); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			return d
 		}
 	}
 	return def
@@ -76,6 +98,14 @@ func Register(fs *flag.FlagSet) *Options {
 		"write a run manifest: environment, knobs, per-experiment wall time, table digests (env BIODEG_MANIFEST)")
 	fs.StringVar(&o.Pprof, "pprof", os.Getenv("BIODEG_PPROF"),
 		"serve net/http/pprof on this address, e.g. localhost:6060 (env BIODEG_PPROF)")
+	fs.StringVar(&o.Faults, "faults", os.Getenv("BIODEG_FAULTS"),
+		"inject deterministic faults, e.g. seed=1,rate=0.1,kinds=error+latency,stages=depth-point (env BIODEG_FAULTS)")
+	fs.IntVar(&o.Retries, "retries", envInt("BIODEG_RETRIES", -1),
+		"per-task retry budget; -1 = auto (2 with -faults, else 0) (env BIODEG_RETRIES)")
+	fs.DurationVar(&o.StageTimeout, "stage-timeout", envDuration("BIODEG_STAGE_TIMEOUT", 0),
+		"per-attempt deadline for each sweep task, 0 = none (env BIODEG_STAGE_TIMEOUT)")
+	fs.BoolVar(&o.Partial, "partial", envBool("BIODEG_PARTIAL"),
+		"annotate failed grid points and keep sweeping instead of aborting; implied by -faults (env BIODEG_PARTIAL)")
 	return o
 }
 
@@ -91,8 +121,35 @@ type Run struct {
 }
 
 // Config returns the runtime configuration the parsed flags describe.
+// An unparseable -faults spec is treated as disabled here; Start is
+// where it becomes a hard error.
 func (o *Options) Config() config.Config {
-	return config.Config{Workers: o.Workers, Metrics: o.Metrics, LibCache: o.LibCache}
+	spec, _ := fault.Parse(o.Faults)
+	return o.configWith(spec)
+}
+
+// configWith assembles the configuration given the parsed fault spec.
+// -retries=-1 resolves to AutoRetries under injection (a chaos run
+// should demonstrate recovery, not just failure) and 0 otherwise;
+// partial results are implied by -faults so a bare chaos replicate
+// completes with annotations instead of dying on the first fault.
+func (o *Options) configWith(spec fault.Spec) config.Config {
+	retries := o.Retries
+	if retries < 0 {
+		retries = 0
+		if spec.Enabled() {
+			retries = AutoRetries
+		}
+	}
+	return config.Config{
+		Workers:        o.Workers,
+		Metrics:        o.Metrics,
+		LibCache:       o.LibCache,
+		Retries:        retries,
+		StageTimeout:   o.StageTimeout,
+		PartialResults: o.Partial || spec.Enabled(),
+		Faults:         spec.String(),
+	}
 }
 
 // Start applies the parsed options — installing them as the process
@@ -104,8 +161,13 @@ func (o *Options) Start(tool string) (*Run, context.Context, error) {
 	// Install the effective configuration as the process default so
 	// code paths without a context (lazy technology characterization,
 	// the package-default session) observe the flags too.
-	cfg := o.Config()
+	spec, err := fault.Parse(o.Faults)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cli: -faults: %w", err)
+	}
+	cfg := o.configWith(spec)
 	config.SetDefault(cfg)
+	fault.SetDefault(fault.New(spec))
 	metrics.SetEnabled(o.Metrics)
 	if o.Trace != "" || o.JSONL != "" || o.Manifest != "" {
 		obs.Enable()
@@ -128,6 +190,15 @@ func (o *Options) Start(tool string) (*Run, context.Context, error) {
 		"BIODEG_TRACE_JSONL": o.JSONL,
 		"BIODEG_MANIFEST":    o.Manifest,
 		"BIODEG_PPROF":       o.Pprof,
+		"BIODEG_FAULTS":      cfg.Faults,
+		"BIODEG_RETRIES":     positive(cfg.Retries),
+		"BIODEG_STAGE_TIMEOUT": func() string {
+			if cfg.StageTimeout > 0 {
+				return cfg.StageTimeout.String()
+			}
+			return ""
+		}(),
+		"BIODEG_PARTIAL": boolEnv(cfg.PartialResults),
 	})
 	ctx, root := obs.Start(context.Background(), "run", obs.KV("tool", tool))
 	return &Run{Opts: o, Manifest: m, root: root, start: time.Now()}, config.WithContext(ctx, cfg), nil

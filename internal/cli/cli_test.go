@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner/metrics"
 )
@@ -29,6 +30,7 @@ func pinEnv(t *testing.T) {
 	for _, k := range []string{
 		"BIODEG_WORKERS", "BIODEG_METRICS", "BIODEG_LIBCACHE",
 		"BIODEG_TRACE", "BIODEG_TRACE_JSONL", "BIODEG_MANIFEST", "BIODEG_PPROF",
+		"BIODEG_FAULTS", "BIODEG_RETRIES", "BIODEG_STAGE_TIMEOUT", "BIODEG_PARTIAL",
 	} {
 		t.Setenv(k, os.Getenv(k))
 		os.Unsetenv(k)
@@ -116,6 +118,71 @@ func TestStartEnablesSinksAndFinishWrites(t *testing.T) {
 	}
 	if m.Tool != "test" || m.Spans < 2 {
 		t.Errorf("manifest = tool %q, %d spans; want test, >=2", m.Tool, m.Spans)
+	}
+}
+
+func TestFaultsImplyPartialAndAutoRetries(t *testing.T) {
+	pinEnv(t)
+
+	// Without -faults: no retries, no partial results, empty spec.
+	cfg := register(t).Config()
+	if cfg.Retries != 0 || cfg.PartialResults || cfg.Faults != "" {
+		t.Errorf("quiet config = %+v, want zero resilience posture", cfg)
+	}
+
+	// With -faults: partial results implied, -retries=-1 resolves to
+	// AutoRetries, and the canonical spec lands in Config.Faults.
+	o := register(t, "-faults", "seed=1,rate=0.1,kinds=error")
+	cfg = o.Config()
+	if !cfg.PartialResults {
+		t.Error("-faults should imply partial results")
+	}
+	if cfg.Retries != AutoRetries {
+		t.Errorf("retries = %d under -faults, want auto %d", cfg.Retries, AutoRetries)
+	}
+	if cfg.Faults == "" {
+		t.Error("Config.Faults empty despite -faults")
+	}
+
+	// Explicit -retries beats the auto default; -partial stands alone.
+	cfg = register(t, "-faults", "seed=1,rate=0.1", "-retries", "7").Config()
+	if cfg.Retries != 7 {
+		t.Errorf("explicit retries = %d, want 7", cfg.Retries)
+	}
+	cfg = register(t, "-partial").Config()
+	if !cfg.PartialResults || cfg.Retries != 0 {
+		t.Errorf("bare -partial config = %+v", cfg)
+	}
+
+	// Start installs the injector as the process default.
+	run, _, err := register(t, "-faults", "seed=9,rate=0.5,stages=alu-point").Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Finish()
+	t.Cleanup(func() { fault.SetDefault(nil) })
+	inj := fault.Default()
+	if inj == nil {
+		t.Fatal("Start did not install a default injector")
+	}
+	if got := inj.Spec().Seed; got != 9 {
+		t.Errorf("default injector seed = %d, want 9", got)
+	}
+	if run.Manifest.Env["BIODEG_FAULTS"] == "" {
+		t.Errorf("manifest knobs missing BIODEG_FAULTS: %+v", run.Manifest.Env)
+	}
+}
+
+func TestBadFaultSpecFailsStart(t *testing.T) {
+	pinEnv(t)
+	o := register(t, "-faults", "rate=banana")
+	if _, _, err := o.Start("test"); err == nil {
+		t.Fatal("Start accepted an unparseable -faults spec")
+	}
+	// Config (pre-Start, e.g. for display) degrades to disabled instead
+	// of panicking.
+	if cfg := o.Config(); cfg.Faults != "" || cfg.PartialResults {
+		t.Errorf("bad-spec Config = %+v, want disabled", cfg)
 	}
 }
 

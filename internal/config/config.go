@@ -1,6 +1,8 @@
 // Package config carries the reproduction's runtime knobs — worker
-// count, metrics reporting, library disk cache — explicitly instead of
-// through BIODEG_* process environment variables.
+// count, metrics reporting, library disk cache, and the resilience
+// posture (retries, per-stage timeouts, partial-result sweeps, fault
+// spec) — explicitly instead of through BIODEG_* process environment
+// variables.
 //
 // A Config travels two ways. Per-call configuration rides a context
 // (WithContext/FromContext): biodeg.Session attaches its options to
@@ -18,16 +20,40 @@ import (
 	"context"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Config is one coherent set of runtime knobs. The zero value means
 // "all defaults": GOMAXPROCS workers, no metrics report, no library
-// disk cache.
+// disk cache, no retries, no per-stage timeout, fail-fast sweeps.
 type Config struct {
 	Workers  int    // worker-pool size; <= 0 means GOMAXPROCS
 	Metrics  bool   // print the per-stage wall-time report
 	LibCache string // directory persisting characterized libraries
+
+	// Resilience knobs (see internal/runner and internal/fault).
+
+	// Retries is the per-task retry budget after the first failed
+	// attempt; <= 0 disables retrying.
+	Retries int
+	// RetryBase is the exponential-backoff window base; <= 0 means
+	// DefaultRetryBase.
+	RetryBase time.Duration
+	// StageTimeout bounds each task attempt; <= 0 means no deadline
+	// beyond the caller's context.
+	StageTimeout time.Duration
+	// PartialResults makes the design-space sweeps annotate failed grid
+	// points and keep going instead of aborting on the first error.
+	PartialResults bool
+	// Faults is the canonical fault-injection spec in effect ("" = off).
+	// The live injector travels separately (internal/fault); this string
+	// exists so manifests and reports record the chaos posture.
+	Faults string
 }
+
+// DefaultRetryBase is the backoff window base when RetryBase is unset:
+// attempt k waits within (2^k x 25ms)/2 .. 2^k x 25ms.
+const DefaultRetryBase = 25 * time.Millisecond
 
 // WorkerCount resolves the effective worker-pool size.
 func (c Config) WorkerCount() int {
@@ -35,6 +61,22 @@ func (c Config) WorkerCount() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// RetryCount resolves the effective retry budget (never negative).
+func (c Config) RetryCount() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 0
+}
+
+// BackoffBase resolves the effective backoff window base.
+func (c Config) BackoffBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return DefaultRetryBase
 }
 
 // def is the process-wide default, read when a context carries no

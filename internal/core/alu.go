@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
+	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -60,7 +63,10 @@ func ALUDepthSweepK(t *Tech, maxStages int, wire bool, feedbackK float64) ([]pip
 // depth independently on the worker pool; per-depth points depend only
 // on their stage count, so the parallel sweep is bit-identical to the
 // serial one. The whole sweep runs under one "sweep:aludepth" span,
-// with one grid-point span per depth.
+// with one grid-point span per depth. Each point is a fault-injection
+// site ("alu-point:tech:wire:nK"); under config.PartialResults a failed
+// point is returned with its Err annotation instead of aborting the
+// sweep.
 func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedbackK float64) ([]pipeline.Point, error) {
 	ctx, sp := obs.Start(ctx, "sweep:aludepth",
 		obs.KV("tech", t.Name), obs.Bool("wire", wire), obs.Int("max_stages", maxStages))
@@ -76,9 +82,33 @@ func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedb
 		FeedbackK: feedbackK,
 	}
 	dff := t.DFF()
-	return runner.Map(ctx, maxStages, func(ctx context.Context, i int) (pipeline.Point, error) {
+	point := func(ctx context.Context, i int) (pipeline.Point, error) {
+		ctx, sp := obs.Start(ctx, "alu-point", obs.Int("stages", i+1))
+		defer sp.End()
+		if err := fault.Inject(ctx, fmt.Sprintf("alu-point:%s:%s:n%d", t.Name, wireTag(wire), i+1)); err != nil {
+			return pipeline.Point{}, err
+		}
 		return pipeline.PointAt(ctx, res, dff, cfg, i+1), nil
-	})
+	}
+	if !config.Get(ctx).PartialResults {
+		return runner.Map(ctx, maxStages, point)
+	}
+	pts, errs, err := runner.MapPartial(ctx, maxStages, point)
+	if err != nil {
+		return nil, err
+	}
+	for _, te := range errs {
+		pts[te.Index] = pipeline.Point{Stages: te.Index + 1, Err: runner.ErrLabel(te.Err)}
+	}
+	return pts, nil
+}
+
+// wireTag names the wire mode inside fault-site identities.
+func wireTag(wire bool) string {
+	if wire {
+		return "wire"
+	}
+	return "nowire"
 }
 
 // ALUResult exposes the analyzed complex-ALU timing (for the
@@ -88,12 +118,23 @@ func ALUResult(t *Tech, wire bool) (*sta.Result, error) {
 }
 
 // NormalizePoints scales frequency and area to the 1-stage entry.
+// Failed partial-sweep points (zero numerics) normalize to 0 — never
+// NaN/Inf, which would poison JSON encoding downstream.
 func NormalizePoints(pts []pipeline.Point) (freq, area []float64) {
 	freq = make([]float64, len(pts))
 	area = make([]float64, len(pts))
 	for i, p := range pts {
-		freq[i] = p.Freq / pts[0].Freq
-		area[i] = p.Area / pts[0].Area
+		freq[i] = ratio(p.Freq, pts[0].Freq)
+		area[i] = ratio(p.Area, pts[0].Area)
 	}
 	return freq, area
+}
+
+// ratio divides defensively: a zero denominator (the base point failed
+// under fault injection) or zero numerator yields 0.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
@@ -22,6 +25,10 @@ type DepthPoint struct {
 	// IPC and Perf (IPC x frequency) per benchmark.
 	IPC  map[string]float64
 	Perf map[string]float64
+	// Errors annotates benchmarks whose IPC simulation failed under a
+	// partial-results sweep (bench -> short error); those benchmarks are
+	// absent from IPC/Perf.
+	Errors map[string]string
 }
 
 // CoreDepthSweep reproduces the paper's depth procedure: start from the
@@ -77,20 +84,45 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 		})
 	}
 	// Simulate every (depth, benchmark) pair concurrently, then fill the
-	// per-point maps in order. Each pair is one grid-point span.
+	// per-point maps in order. Each pair is one grid-point span and a
+	// fault-injection site ("depth-point:tech:wire:dN:bench").
 	benches := Benchmarks()
-	stats, err := runner.Map(ctx, len(pts)*len(benches), func(ctx context.Context, i int) (uarch.Stats, error) {
+	point := func(ctx context.Context, i int) (uarch.Stats, error) {
 		pt, bench := pts[i/len(benches)], benches[i%len(benches)]
 		ctx, sp := obs.Start(ctx, "depth-point",
 			obs.Int("depth", pt.Depth), obs.KV("bench", bench))
 		defer sp.End()
+		site := fmt.Sprintf("depth-point:%s:%s:d%d:%s", t.Name, wireTag(wire), pt.Depth, bench)
+		if err := fault.Inject(ctx, site); err != nil {
+			return uarch.Stats{}, err
+		}
 		return BenchIPCCtx(ctx, bench, uarchConfig(fe, be, pt.Cuts))
-	})
-	if err != nil {
-		return nil, err
+	}
+	var stats []uarch.Stats
+	if config.Get(ctx).PartialResults {
+		var errs []*runner.TaskError
+		stats, errs, err = runner.MapPartial(ctx, len(pts)*len(benches), point)
+		if err != nil {
+			return nil, err
+		}
+		for _, te := range errs {
+			pt, b := &pts[te.Index/len(benches)], benches[te.Index%len(benches)]
+			if pt.Errors == nil {
+				pt.Errors = map[string]string{}
+			}
+			pt.Errors[b] = runner.ErrLabel(te.Err)
+		}
+	} else {
+		stats, err = runner.Map(ctx, len(pts)*len(benches), point)
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i, st := range stats {
 		pt, b := &pts[i/len(benches)], benches[i%len(benches)]
+		if pt.Errors[b] != "" {
+			continue
+		}
 		pt.IPC[b] = st.IPC
 		pt.Perf[b] = st.IPC * pt.Freq
 	}
@@ -107,11 +139,13 @@ func NormalizeDepth(pts []DepthPoint) []DepthPoint {
 	out := make([]DepthPoint, len(pts))
 	for i, p := range pts {
 		q := p
-		q.Freq = p.Freq / base.Freq
-		q.Area = p.Area / base.Area
+		q.Freq = ratio(p.Freq, base.Freq)
+		q.Area = ratio(p.Area, base.Area)
 		q.Perf = map[string]float64{}
 		for b, v := range p.Perf {
-			q.Perf[b] = v / base.Perf[b]
+			// A benchmark that failed at the base point (partial sweep)
+			// has no baseline; report 0 rather than NaN/Inf.
+			q.Perf[b] = ratio(v, base.Perf[b])
 		}
 		out[i] = q
 	}

@@ -51,19 +51,32 @@ func EnergySweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int) ([]Ene
 		cells := p.Area / rep.Area
 		pStatic := cells * leak
 		eDyn := ActivityFactor * cells * rep.SwitchEnergy
+		// Average only the benchmarks that actually simulated; under a
+		// partial-results chaos sweep some may be annotated in p.Errors
+		// and absent from p.IPC.
 		var ipc float64
+		present := 0
 		for _, b := range Benchmarks() {
-			ipc += p.IPC[b]
+			if v, ok := p.IPC[b]; ok {
+				ipc += v
+				present++
+			}
 		}
-		ipc /= float64(len(Benchmarks()))
+		if present > 0 {
+			ipc /= float64(present)
+		}
 		period := p.Period
-		epi := (eDyn + pStatic*period) / ipc
+		var epi, share float64
+		if ipc > 0 {
+			epi = (eDyn + pStatic*period) / ipc
+			share = pStatic * period / (eDyn + pStatic*period)
+		}
 		out = append(out, EnergyPoint{
 			Depth:       p.Depth,
 			Freq:        p.Freq,
 			MeanIPC:     ipc,
 			EPI:         epi,
-			StaticShare: pStatic * period / (eDyn + pStatic*period),
+			StaticShare: share,
 		})
 	}
 	return out, nil

@@ -308,6 +308,9 @@ func runFig12(ctx context.Context) ([]*Table, error) {
 		for i, p := range pts {
 			t.Rows = append(t.Rows, fmt.Sprintf("n=%d", p.Stages))
 			t.V = append(t.V, []float64{freq[i], area[i], p.Freq})
+			if p.Err != "" {
+				t.Errors = append(t.Errors, fmt.Sprintf("%s n=%d: %s", tech.Name, p.Stages, p.Err))
+			}
 		}
 		opt := 0
 		for i := range freq {
@@ -341,6 +344,9 @@ func runFig11(ctx context.Context) ([]*Table, error) {
 			row := []float64{p.Freq, p.Area}
 			for _, b := range Benchmarks() {
 				row = append(row, p.Perf[b])
+				if e := p.Errors[b]; e != "" {
+					t.Errors = append(t.Errors, fmt.Sprintf("%s d=%d %s: %s", tech.Name, p.Depth, b, e))
+				}
 			}
 			t.V = append(t.V, row)
 		}
@@ -378,6 +384,11 @@ func widthTable(ctx context.Context, tech *Tech, area bool) (*Table, error) {
 	if !area {
 		fe, be := Optimal(pts)
 		t.Note = fmt.Sprintf("optimal fe=%d be=%d (paper: silicon M[4][2], organic M[7][2])", fe, be)
+	}
+	for _, p := range pts {
+		if p.Err != "" {
+			t.Errors = append(t.Errors, fmt.Sprintf("%s fe=%d be=%d: %s", tech.Name, p.Front, p.Back, p.Err))
+		}
 	}
 	return t, nil
 }
@@ -423,6 +434,11 @@ func runFig15(ctx context.Context) ([]*Table, error) {
 			}
 			freq, _ := NormalizePoints(pts)
 			series = append(series, freq)
+			for _, p := range pts {
+				if p.Err != "" {
+					ta.Errors = append(ta.Errors, fmt.Sprintf("%s %s n=%d: %s", tech.Name, wireTag(wire), p.Stages, p.Err))
+				}
+			}
 		}
 	}
 	for n := 1; n <= 30; n++ {
@@ -446,7 +462,12 @@ func runFig15(ctx context.Context) ([]*Table, error) {
 			}
 			var f []float64
 			for _, p := range pts {
-				f = append(f, p.Freq/pts[0].Freq)
+				f = append(f, ratio(p.Freq, pts[0].Freq))
+				for _, b := range Benchmarks() {
+					if e := p.Errors[b]; e != "" {
+						tb.Errors = append(tb.Errors, fmt.Sprintf("%s %s d=%d %s: %s", tech.Name, wireTag(wire), p.Depth, b, e))
+					}
+				}
 			}
 			coreSeries = append(coreSeries, f)
 		}

@@ -15,6 +15,9 @@ type Table struct {
 	Fmt string
 	// Note carries the paper-vs-measured commentary.
 	Note string
+	// Errors lists grid points that failed under a partial-results
+	// (chaos) run, one "site: cause" line each; their table cells are 0.
+	Errors []string
 }
 
 // Render returns an aligned ASCII table.
@@ -64,6 +67,9 @@ func (t *Table) Render() string {
 	}
 	if t.Note != "" {
 		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	for _, e := range t.Errors {
+		fmt.Fprintf(&b, "error: %s\n", e)
 	}
 	return b.String()
 }

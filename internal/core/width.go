@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
@@ -24,6 +27,9 @@ type WidthPoint struct {
 	Area        float64
 	MeanIPC     float64
 	Perf        float64 // MeanIPC x Freq
+	// Err annotates a configuration that failed under a partial-results
+	// sweep ("" = computed); its numeric fields are then zero.
+	Err string
 }
 
 // WidthSweep synthesizes the thirty width configurations of the paper
@@ -44,10 +50,13 @@ func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 	dff := t.DFF()
 	const cols = MaxFront - MinFront + 1
 	n := (MaxBack - MinBack + 1) * cols
-	return runner.Map(ctx, n, func(ctx context.Context, i int) (WidthPoint, error) {
+	point := func(ctx context.Context, i int) (WidthPoint, error) {
 		fe, be := MinFront+i%cols, MinBack+i/cols
 		ctx, sp := obs.Start(ctx, "width-point", obs.Int("fe", fe), obs.Int("be", be))
 		defer sp.End()
+		if err := fault.Inject(ctx, fmt.Sprintf("width-point:%s:fe%d:be%d", t.Name, fe, be)); err != nil {
+			return WidthPoint{}, err
+		}
 		blocks, err := coreBlocks(ctx, t, fe, be, true)
 		if err != nil {
 			return WidthPoint{}, err
@@ -66,7 +75,22 @@ func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 			MeanIPC: mean,
 			Perf:    mean * tp.Freq,
 		}, nil
-	})
+	}
+	if !config.Get(ctx).PartialResults {
+		return runner.Map(ctx, n, point)
+	}
+	pts, errs, err := runner.MapPartial(ctx, n, point)
+	if err != nil {
+		return nil, err
+	}
+	for _, te := range errs {
+		pts[te.Index] = WidthPoint{
+			Front: MinFront + te.Index%cols,
+			Back:  MinBack + te.Index/cols,
+			Err:   runner.ErrLabel(te.Err),
+		}
+	}
+	return pts, nil
 }
 
 // Matrix arranges a width sweep into the paper's M[back][front] layout,

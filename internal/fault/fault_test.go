@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec, err := Parse("seed=7,rate=0.25,kinds=error+panic,latency=5ms,stages=depth-point+server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || spec.Rate != 0.25 || spec.Latency != 5*time.Millisecond {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if len(spec.Kinds) != 2 || spec.Kinds[0] != KindError || spec.Kinds[1] != KindPanic {
+		t.Fatalf("kinds %v", spec.Kinds)
+	}
+	if len(spec.Stages) != 2 || spec.Stages[0] != "depth-point" {
+		t.Fatalf("stages %v", spec.Stages)
+	}
+	again, err := Parse(spec.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", spec.String(), err)
+	}
+	if again.String() != spec.String() {
+		t.Fatalf("round trip %q != %q", again.String(), spec.String())
+	}
+}
+
+func TestParseDefaultsAndErrors(t *testing.T) {
+	spec, err := Parse("seed=1,rate=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.kinds(); len(got) != 2 || got[0] != KindError || got[1] != KindLatency {
+		t.Fatalf("default kinds %v", got)
+	}
+	if spec.latency() != DefaultLatency {
+		t.Fatalf("default latency %v", spec.latency())
+	}
+	if s, err := Parse(""); err != nil || s.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"seed=1", "rate=2,seed=1", "seed=x,rate=0.1",
+		"seed=1,rate=0.1,kinds=bogus", "seed=1,rate=0.1,latency=fast",
+		"seed=1,rate=0.1,wat=1", "justtext",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicSites(t *testing.T) {
+	spec := Spec{Seed: 1, Rate: 0.2, Kinds: []Kind{KindError}}
+	a, b := New(spec), New(spec)
+	other := New(Spec{Seed: 2, Rate: 0.2, Kinds: []Kind{KindError}})
+	ctx := context.Background()
+	same, diff := 0, 0
+	for i := 0; i < 2000; i++ {
+		site := fmt.Sprintf("depth-point:organic:wire:d%d:bench%d", i%7+9, i)
+		ea, eb := a.Inject(ctx, site), b.Inject(ctx, site)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("same seed disagrees at %s: %v vs %v", site, ea, eb)
+		}
+		if (ea == nil) != (other.Inject(ctx, site) == nil) {
+			diff++
+		} else {
+			same++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical fault sites everywhere")
+	}
+	// Retries draw independently: some site that faults at attempt 0
+	// must pass at a later attempt.
+	recovered := false
+	for i := 0; i < 200 && !recovered; i++ {
+		site := fmt.Sprintf("width-point:silicon:fe%d:be%d", i%6+1, i)
+		if a.Inject(ctx, site) != nil && a.Inject(WithAttempt(ctx, 1), site) == nil {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Error("no faulted site recovered on attempt 1 (attempt not keyed into the draw?)")
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	in := New(Spec{Seed: 42, Rate: 0.3, Kinds: []Kind{KindError}})
+	ctx := context.Background()
+	hits := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if in.Inject(ctx, fmt.Sprintf("site:%d", i)) != nil {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; f < 0.25 || f > 0.35 {
+		t.Errorf("rate 0.3 hit %.3f of %d sites", f, n)
+	}
+}
+
+func TestStageFilter(t *testing.T) {
+	in := New(Spec{Seed: 1, Rate: 1, Kinds: []Kind{KindError}, Stages: []string{"alu-point"}})
+	ctx := context.Background()
+	if err := in.Inject(ctx, "alu-point:organic:wire:n3"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("filtered-in site: %v", err)
+	}
+	if err := in.Inject(ctx, "depth-point:organic:wire:d9:x"); err != nil {
+		t.Fatalf("filtered-out site fired: %v", err)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	in := New(Spec{Seed: 1, Rate: 1, Kinds: []Kind{KindLatency}, Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Inject(ctx, "site:slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("latency injection ignored context cancellation")
+	}
+	// A short stall completes and returns nil.
+	quick := New(Spec{Seed: 1, Rate: 1, Kinds: []Kind{KindLatency}, Latency: time.Millisecond})
+	if err := quick.Inject(context.Background(), "site:quick"); err != nil {
+		t.Fatalf("short latency: %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := New(Spec{Seed: 1, Rate: 1, Kinds: []Kind{KindPanic}})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "injected panic") {
+			t.Fatalf("recover() = %v", r)
+		}
+	}()
+	in.Inject(context.Background(), "site:boom") //nolint:errcheck // panics
+	t.Fatal("no panic")
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	in := New(Spec{Seed: 1, Rate: 1, Kinds: []Kind{KindError}})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		in.Inject(ctx, fmt.Sprintf("alu-point:n%d", i)) //nolint:errcheck
+	}
+	in.Inject(ctx, "server:/v1/simulate") //nolint:errcheck
+	c := in.Snapshot()
+	if c.Error != 4 || c.Total != 4 || c.Latency != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	if len(c.Stages) != 2 || c.Stages[0].Stage != "alu-point" || c.Stages[0].Count != 3 {
+		t.Fatalf("stage counts %+v", c.Stages)
+	}
+	if c.Spec == "" {
+		t.Fatal("snapshot lost the spec")
+	}
+}
+
+func TestNilAndContextPlumbing(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Inject(context.Background(), "x"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if New(Spec{}) != nil {
+		t.Fatal("New(disabled) != nil")
+	}
+	if err := Inject(context.Background(), "x"); err != nil {
+		t.Fatalf("no default, no context: %v", err)
+	}
+	in := New(Spec{Seed: 1, Rate: 1, Kinds: []Kind{KindError}})
+	ctx := WithInjector(context.Background(), in)
+	if err := Inject(ctx, "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("context injector not used: %v", err)
+	}
+	SetDefault(in)
+	defer SetDefault(nil)
+	if err := Inject(context.Background(), "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default injector not used: %v", err)
+	}
+	if got := AttemptFromContext(WithAttempt(context.Background(), 3)); got != 3 {
+		t.Fatalf("attempt = %d", got)
+	}
+}

@@ -39,6 +39,9 @@ type Point struct {
 	StageLogic float64 // worst per-stage logic delay
 	RegOver    float64 // clk-q + setup
 	WireOver   float64 // feedback wire cost per cycle
+	// Err annotates a point that failed under a partial-results sweep
+	// (""= computed); its numeric fields are then zero.
+	Err string
 }
 
 // PartitionMinMax splits the delay sequence into k contiguous chunks

@@ -134,6 +134,19 @@ func Add(stage string, n int64) {
 	}
 }
 
+// Count returns a stage's current cumulative count (0 when the stage
+// was never recorded) — a cheap point read for status endpoints that
+// don't need the full Snapshots pass.
+func Count(stage string) int64 {
+	mu.Lock()
+	s, ok := stages[stage]
+	mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return s.count.Load()
+}
+
 // OnProgress installs fn as the progress hook, called after every
 // Observe/Add with the stage name, its new cumulative count, and the
 // observation's duration (0 for Add). Pass nil to remove the hook. The

@@ -2,14 +2,19 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -36,6 +41,72 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
+// TaskError records one failed task of a partial run: the task index
+// and its final error (after the retry budget was spent).
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+func (e *TaskError) Error() string { return fmt.Sprintf("task %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// MaxBackoff caps a single retry wait regardless of attempt count.
+const MaxBackoff = 2 * time.Second
+
+// Backoff returns the wait before retrying after failed attempt
+// `attempt` (0 = the first try failed): equal jitter over an
+// exponential window, i.e. a deterministic point in
+// [w/2, w] for w = min(base << attempt, MaxBackoff). The jitter derives
+// from (key, attempt), not from a global RNG, so a chaos run's retry
+// timing is reproducible and concurrent tasks still decorrelate.
+func Backoff(base time.Duration, attempt int, key string) time.Duration {
+	if base <= 0 {
+		base = config.DefaultRetryBase
+	}
+	window := base
+	for i := 0; i < attempt && window < MaxBackoff; i++ {
+		window <<= 1
+	}
+	if window > MaxBackoff {
+		window = MaxBackoff
+	}
+	half := window / 2
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	// splitmix64 finalizer: FNV alone diffuses trailing bytes poorly.
+	v := h.Sum64() + 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	v ^= v >> 31
+	return half + time.Duration(v%uint64(half+1))
+}
+
+// ErrLabel compresses err to a single short line for span attributes
+// and per-point table annotations: panics reduce to their value (no
+// stack, which would differ between runs), multi-line errors to their
+// first line.
+func ErrLabel(err error) string {
+	if err == nil {
+		return ""
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("panic: %v", pe.Value)
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	const max = 200
+	if len(msg) > max {
+		msg = msg[:max] + "..."
+	}
+	return msg
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on a bounded worker pool
 // and returns the n results in index order. The first error (or panic,
 // converted to *PanicError) cancels the derived context; tasks not yet
@@ -57,6 +128,25 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	return out, nil
 }
 
+// MapPartial is Map without fail-fast: every task runs to completion
+// (or exhausts its retry budget), successes land in the result slice at
+// their index, and failures come back as TaskErrors sorted by index —
+// the degraded-sweep primitive behind config.PartialResults. The error
+// return is non-nil only when the parent context was cancelled, in
+// which case both slices are incomplete.
+func MapPartial[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []*TaskError, error) {
+	out := make([]T, n)
+	errs, err := ForEachPartial(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, errs, err
+}
+
 // ForEach is Map without collected results: it runs fn(ctx, i) for
 // every i in [0, n) on the bounded pool and returns the first error.
 //
@@ -66,14 +156,38 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 // attribute is the time the task spent waiting between batch submission
 // and a worker picking it up, so a trace shows the queue-wait versus
 // execute split per task.
+//
+// Resilience is configured per call through the context-carried
+// config: with Retries > 0, a failed attempt (error or recovered
+// panic) is retried after an exponential-backoff-with-jitter wait
+// (Backoff), each wait visible as a "runner.retry" span feeding the
+// "retry" metrics stage; with StageTimeout > 0, every attempt runs
+// under its own deadline. Each attempt carries its attempt number via
+// internal/fault's context key, so injected faults re-draw per retry.
 func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := forEach(ctx, n, fn, false)
+	return err
+}
+
+// ForEachPartial is ForEach without fail-fast; see MapPartial.
+func ForEachPartial(ctx context.Context, n int, fn func(ctx context.Context, i int) error) ([]*TaskError, error) {
+	return forEach(ctx, n, fn, true)
+}
+
+// forEach is the shared pool: partial selects collect-and-continue
+// over first-error cancellation.
+func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error, partial bool) ([]*TaskError, error) {
 	if n <= 0 {
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
-	workers := WorkersFor(ctx)
+	cfg := config.Get(ctx)
+	workers := cfg.WorkerCount()
 	if workers > n {
 		workers = n
 	}
+	retries := cfg.RetryCount()
+	backoffBase := cfg.BackoffBase()
+	stageTimeout := cfg.StageTimeout
 	traced := obs.Enabled()
 	submit := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
@@ -84,32 +198,75 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 		firstErr error
 		errOnce  sync.Once
 		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		taskErrs []*TaskError
 	)
-	fail := func(err error) {
+	fail := func(i int, err error) {
+		if partial {
+			errMu.Lock()
+			taskErrs = append(taskErrs, &TaskError{Index: i, Err: err})
+			errMu.Unlock()
+			return
+		}
 		errOnce.Do(func() {
 			firstErr = err
 			cancel()
 		})
 	}
-	run := func(i int) {
+	// attempt is one bounded, panic-recovered try of task i.
+	attempt := func(ctx context.Context, i, a int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				stack := make([]byte, 64<<10)
 				stack = stack[:runtime.Stack(stack, false)]
-				fail(&PanicError{Index: i, Value: r, Stack: stack})
+				err = &PanicError{Index: i, Value: r, Stack: stack}
 			}
 		}()
+		actx := fault.WithAttempt(ctx, a)
+		if stageTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(actx, stageTimeout)
+			defer cancel()
+		}
+		return fn(actx, i)
+	}
+	run := func(i int) {
 		tctx := ctx
+		var sp *obs.Span
 		if traced {
 			wait := time.Since(submit)
-			var sp *obs.Span
 			tctx, sp = obs.Start(ctx, "runner.task",
 				obs.Int("index", i),
 				obs.KV("queue_wait_us", strconv.FormatInt(wait.Microseconds(), 10)))
 			defer sp.End()
 		}
-		if err := fn(tctx, i); err != nil {
-			fail(err)
+		var err error
+		for a := 0; ; a++ {
+			err = attempt(tctx, i, a)
+			if err == nil || a >= retries || ctx.Err() != nil {
+				if sp != nil && a > 0 {
+					sp.Set("attempts", strconv.Itoa(a+1))
+				}
+				break
+			}
+			d := Backoff(backoffBase, a, "task:"+strconv.Itoa(i))
+			// The retry span covers the backoff wait and feeds the
+			// "retry" metrics stage, so chaos runs show retries in both
+			// the trace tree and /metricsz.
+			_, rsp := obs.Start(tctx, "runner.retry",
+				obs.Stage("retry"),
+				obs.Int("index", i), obs.Int("attempt", a+1),
+				obs.KV("backoff", d.String()), obs.KV("cause", ErrLabel(err)))
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+			t.Stop()
+			rsp.End()
+		}
+		if err != nil {
+			fail(i, err)
 		}
 	}
 	wg.Add(workers)
@@ -126,10 +283,14 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	if partial {
+		sort.Slice(taskErrs, func(i, j int) bool { return taskErrs[i].Index < taskErrs[j].Index })
+		return taskErrs, ctx.Err()
 	}
-	return ctx.Err()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, ctx.Err()
 }
 
 // memoEntry is one in-flight or completed computation.

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/biodeg/api"
+	"repro/internal/fault"
+)
+
+func TestBreakerTransitions(t *testing.T) {
+	b := newBreaker(3, 40*time.Millisecond)
+	boom := errors.New("engine exploded")
+
+	admit := func(err error) {
+		t.Helper()
+		if aerr := b.Allow(); aerr != nil {
+			t.Fatalf("Allow() = %v, want admit", aerr)
+		}
+		b.Done(err)
+	}
+
+	// Closed: failures below threshold keep admitting; a success resets
+	// the streak.
+	admit(boom)
+	admit(boom)
+	admit(nil)
+	admit(boom)
+	admit(boom)
+	if st := b.Status(); st.State != "closed" || st.Failures != 2 {
+		t.Fatalf("after reset: %+v, want closed with 2 failures", st)
+	}
+
+	// Third consecutive failure trips it open.
+	admit(boom)
+	if st := b.Status(); st.State != "open" || st.Trips != 1 {
+		t.Fatalf("after threshold: %+v, want open with 1 trip", st)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open Allow() = %v, want ErrUnavailable", err)
+	}
+	if b.Status().FastFails != 1 {
+		t.Fatalf("fast-fail not counted: %+v", b.Status())
+	}
+	if b.RetryAfter() == "" || b.RetryAfter() == "0" {
+		t.Fatalf("RetryAfter() = %q", b.RetryAfter())
+	}
+
+	// Cooldown elapses: one probe is admitted, a second is not.
+	time.Sleep(50 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe Allow() = %v, want admit", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("second half-open Allow() = %v, want ErrUnavailable", err)
+	}
+	if b.Status().State != "half-open" {
+		t.Fatalf("state = %+v, want half-open", b.Status())
+	}
+
+	// Failing probe re-opens.
+	b.Done(boom)
+	if st := b.Status(); st.State != "open" || st.Trips != 2 {
+		t.Fatalf("after failed probe: %+v, want open with 2 trips", st)
+	}
+
+	// Next probe succeeds: closed again, streak cleared.
+	time.Sleep(50 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow() = %v", err)
+	}
+	b.Done(nil)
+	if st := b.Status(); st.State != "closed" || st.Failures != 0 {
+		t.Fatalf("after healed probe: %+v, want closed", st)
+	}
+}
+
+func TestBreakerIgnoresClientErrors(t *testing.T) {
+	b := newBreaker(2, time.Minute)
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow() = %v", err)
+		}
+		switch i % 2 {
+		case 0:
+			b.Done(fmt.Errorf("%w: nonsense", ErrBadRequest))
+		default:
+			b.Done(context.Canceled)
+		}
+	}
+	if st := b.Status(); st.State != "closed" || st.Trips != 0 {
+		t.Fatalf("client errors moved the breaker: %+v", st)
+	}
+	// Deadline errors are engine-class and do trip.
+	b.Done(context.DeadlineExceeded)
+	b.Done(context.DeadlineExceeded)
+	if st := b.Status(); st.State != "open" {
+		t.Fatalf("timeouts did not trip: %+v", st)
+	}
+}
+
+func TestNilBreakerDisabled(t *testing.T) {
+	var b *breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil Allow() = %v", err)
+	}
+	b.Done(errors.New("x"))
+	if st := b.Status(); st.Enabled || st.State != "disabled" {
+		t.Fatalf("nil Status() = %+v", st)
+	}
+}
+
+// flakyEngine is a fakeEngine whose sweeps fail while broken is set.
+type flakyEngine struct {
+	fakeEngine
+	broken atomic.Bool
+}
+
+func (f *flakyEngine) Sweep(ctx context.Context, kind string, req api.SweepRequest) (*api.SweepResult, error) {
+	if f.broken.Load() {
+		f.sweeps.Add(1)
+		return nil, errors.New("engine exploded")
+	}
+	return f.fakeEngine.Sweep(ctx, kind, req)
+}
+
+// TestBreakerHTTP drives the breaker through the full serving path:
+// consecutive engine failures turn 500s into fast 503s with
+// Retry-After, and after the cooldown a healthy engine closes it again.
+func TestBreakerHTTP(t *testing.T) {
+	eng := &flakyEngine{}
+	eng.broken.Store(true)
+	_, ts := newTestServer(t, eng, Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  60 * time.Millisecond,
+	})
+	url := ts.URL + "/v1/sweeps/alu-depth"
+
+	// Two engine failures (distinct bodies so neither cache nor
+	// singleflight interferes) trip the breaker.
+	for i := 1; i <= 2; i++ {
+		resp := post(t, url, fmt.Sprintf(`{"tech":"organic","max_stages":%d}`, i))
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d: status %d, want 500", i, resp.StatusCode)
+		}
+		slurp(t, resp)
+	}
+
+	// Open: fast-fail without touching the engine.
+	before := eng.sweeps.Load()
+	resp := post(t, url, `{"tech":"organic","max_stages":3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	slurp(t, resp)
+	if eng.sweeps.Load() != before {
+		t.Error("open breaker still reached the engine")
+	}
+
+	// Heal the engine, wait out the cooldown: the probe succeeds and the
+	// breaker closes.
+	eng.broken.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	resp = post(t, url, `{"tech":"organic","max_stages":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cooldown probe: status %d, want 200", resp.StatusCode)
+	}
+	slurp(t, resp)
+
+	var faultz struct {
+		Breaker  BreakerStatus    `json:"breaker"`
+		Observed map[string]int64 `json:"observed"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/faultz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &faultz); err != nil {
+		t.Fatal(err)
+	}
+	if faultz.Breaker.State != "closed" || faultz.Breaker.Trips != 1 {
+		t.Errorf("faultz breaker = %+v, want closed with 1 trip", faultz.Breaker)
+	}
+	if faultz.Observed["engine_errors"] != 2 {
+		t.Errorf("observed engine_errors = %d, want 2", faultz.Observed["engine_errors"])
+	}
+}
+
+// TestFaultzWithInjector checks route-level injection: a rate-1 error
+// injector on server sites fails the leader path, counts in /v1/faultz,
+// and feeds the breaker.
+func TestFaultzWithInjector(t *testing.T) {
+	spec, err := fault.Parse("seed=1,rate=1,kinds=error,stages=server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(spec)
+	_, ts := newTestServer(t, &fakeEngine{}, Options{Injector: inj})
+
+	resp := post(t, ts.URL+"/v1/sweeps/width", `{"tech":"organic"}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected request: status %d, want 500", resp.StatusCode)
+	}
+	slurp(t, resp)
+
+	var faultz struct {
+		Injected fault.Counters   `json:"injected"`
+		Observed map[string]int64 `json:"observed"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/faultz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &faultz); err != nil {
+		t.Fatal(err)
+	}
+	if faultz.Injected.Error != 1 || faultz.Injected.Total != 1 {
+		t.Errorf("injected counters = %+v, want one error", faultz.Injected)
+	}
+	if len(faultz.Injected.Stages) != 1 || faultz.Injected.Stages[0].Stage != "server" {
+		t.Errorf("injected stages = %+v, want [server]", faultz.Injected.Stages)
+	}
+	if faultz.Observed["engine_errors"] != 1 {
+		t.Errorf("observed engine_errors = %d, want 1", faultz.Observed["engine_errors"])
+	}
+}

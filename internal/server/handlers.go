@@ -8,9 +8,26 @@ import (
 	"net/http"
 
 	"repro/biodeg/api"
+	"repro/internal/runner/metrics"
 )
 
 func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// handleFaultz reports the chaos posture: what the injector has fired
+// (per kind and per stage) and what the serving path has observed
+// (engine errors, shed requests, retries) plus the breaker state.
+func (s *Server) handleFaultz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":  "v1",
+		"injected": s.inj.Snapshot(),
+		"breaker":  s.brk.Status(),
+		"observed": map[string]int64{
+			"engine_errors": s.engineErrs.Load(),
+			"shed":          s.shed.Load(),
+			"retries":       metrics.Count("retry"),
+		},
+	})
+}
 
 func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")

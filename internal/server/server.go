@@ -19,6 +19,14 @@
 //     LRU holds the rendered body.
 //  4. A per-request deadline derived from the request context, so a
 //     stuck sweep cannot pin a connection forever.
+//  5. A circuit breaker over the engine: consecutive engine-class
+//     failures open it, open requests fast-fail with 503 + Retry-After
+//     for a cooldown, then one half-open probe decides whether to
+//     close. Client errors (400/404) and disconnects never count.
+//
+// For chaos testing, an optional fault injector (internal/fault) fires
+// at the route level (site "server:{path}") inside the singleflight
+// leader; GET /v1/faultz reports injected and observed fault counters.
 //
 // Progress of the underlying sweeps streams to any number of clients
 // over Server-Sent Events at GET /v1/progress, fed by the process-wide
@@ -38,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
@@ -59,6 +68,17 @@ type Options struct {
 	// RequestTimeout caps each computation; 0 means no cap beyond the
 	// client's own disconnect.
 	RequestTimeout time.Duration
+	// Injector injects chaos at the route level (site "server:{path}")
+	// and feeds /v1/faultz. Nil falls back to the process-wide
+	// fault.Default() (itself nil when -faults is off).
+	Injector *fault.Injector
+	// BreakerThreshold is the consecutive engine-failure count that
+	// opens the circuit breaker. 0 means DefaultBreakerThreshold;
+	// negative disables the breaker entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before its
+	// half-open probe. 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // Server is the biodegd HTTP handler. Create with New; it is an
@@ -71,9 +91,15 @@ type Server struct {
 	flight   runner.Memo[string, []byte]
 	cache    *resultCache
 	progress *progressBroker
+	brk      *breaker
+	inj      *fault.Injector
 	inflight atomic.Int64
 	shed     atomic.Int64
-	started  time.Time
+	// engineErrs counts engine-class failures observed on the leader
+	// path (the "observed" half of /v1/faultz).
+	engineErrs atomic.Int64
+	compSeq    atomic.Int64 // led computations, the fault-draw attempt ordinal
+	started    time.Time
 }
 
 // New builds the server around eng and installs the progress broker as
@@ -86,6 +112,13 @@ func New(eng Engine, opts Options) *Server {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = 256
 	}
+	if opts.Injector == nil {
+		opts.Injector = fault.Default()
+	}
+	var brk *breaker
+	if opts.BreakerThreshold >= 0 {
+		brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
 	s := &Server{
 		eng:      eng,
 		opts:     opts,
@@ -93,6 +126,8 @@ func New(eng Engine, opts Options) *Server {
 		sem:      make(chan struct{}, opts.MaxInflight),
 		cache:    newResultCache(opts.CacheSize),
 		progress: newProgressBroker(),
+		brk:      brk,
+		inj:      opts.Injector,
 		started:  time.Now(),
 	}
 	metrics.OnProgress(s.progress.hook)
@@ -104,6 +139,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/faultz", s.handleFaultz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
 	s.mux.HandleFunc("POST /v1/sweeps/{kind}", s.handleSweep)
@@ -151,6 +187,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"inflight":   s.inflight.Load(),
 		"shed_total": s.shed.Load(),
 		"cached":     s.cache.Len(),
+		"breaker":    s.brk.Status().State,
 	})
 }
 
@@ -173,6 +210,8 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -218,15 +257,48 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route str
 	}
 
 	led := false
+	site := "server:" + r.URL.Path
 	body, err := s.flight.Do(key, func() ([]byte, error) {
 		led = true
-		v, err := compute(ctx)
+		// Breaker and fault injection wrap only the leader: coalesced
+		// waiters share the leader's outcome without multiplying failure
+		// counts or fault draws.
+		if err := s.brk.Allow(); err != nil {
+			return nil, err
+		}
+		v, err := func() (v any, err error) {
+			defer func() {
+				// An injected KindPanic (or engine bug) must still report
+				// an outcome to the breaker, so recover here rather than
+				// relying on the Memo's own recovery.
+				if p := recover(); p != nil {
+					err = fmt.Errorf("recovered panic: %v", p)
+				}
+			}()
+			// The injection draw is keyed by (site, attempt); the site is
+			// just the route, so use the computation ordinal as the attempt
+			// — each led computation gets an independent draw (rate applies
+			// per computation, not once per path) while a fixed request
+			// sequence still replays exactly.
+			if err := s.inj.Inject(fault.WithAttempt(ctx, int(s.compSeq.Add(1))), site); err != nil {
+				return nil, err
+			}
+			return compute(ctx)
+		}()
+		s.brk.Done(err)
 		if err != nil {
+			if isEngineFailure(err) {
+				s.engineErrs.Add(1)
+				metrics.Add("server.engine_error", 1)
+			}
 			return nil, err
 		}
 		return json.Marshal(v)
 	})
 	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			w.Header().Set("Retry-After", s.brk.RetryAfter())
+		}
 		writeError(w, errStatus(err), err.Error())
 		return
 	}

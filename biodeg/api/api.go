@@ -9,9 +9,12 @@
 //
 //	v1 — initial surface: experiment listing/run, the three design-space
 //	     sweeps (alu-depth, core-depth, width), and IPC simulation.
+//	     Later extended (backward-compatibly) with the durable job
+//	     surface: JobRequest/JobStatus/JobList for POST /v1/jobs.
 package api
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/biodeg"
@@ -309,4 +312,52 @@ type ExperimentResult struct {
 	Title   string  `json:"title"`
 	WallMS  float64 `json:"wall_ms"`
 	Tables  []Table `json:"tables"`
+}
+
+// JobExperiment is the job kind running one registry experiment; the
+// other accepted kinds are the three sweep kinds.
+const JobExperiment = "experiment"
+
+// Job states reported by JobStatus.State.
+const (
+	JobPending = "pending" // accepted, not yet started
+	JobRunning = "running" // computing; points_done grows
+	JobDone    = "done"    // result available
+	JobFailed  = "failed"  // error recorded; a retried POST requeues it
+)
+
+// JobRequest is the body of POST /v1/jobs: a durable computation that
+// survives both the submitting client and the daemon process. Kind
+// selects the work ("experiment" + Experiment, or a sweep kind +
+// Sweep). IdempotencyKey, when set, addresses the job: a client
+// retrying the POST with the same key lands on the job it already
+// created. Without a key the job is addressed by the canonical request,
+// so byte-equivalent retries still dedupe.
+type JobRequest struct {
+	Kind           string        `json:"kind"`
+	Experiment     string        `json:"experiment,omitempty"`
+	Sweep          *SweepRequest `json:"sweep,omitempty"`
+	IdempotencyKey string        `json:"idempotency_key,omitempty"`
+}
+
+// JobStatus is one job's state: the response of POST /v1/jobs and
+// GET /v1/jobs/{id}, and the element of JobList. PointsDone counts the
+// checkpoint records the job's journal holds (completed grid points and
+// finished experiments); Resumes counts daemon restarts that relaunched
+// the job. Result is populated only by GET /v1/jobs/{id} on a done job.
+type JobStatus struct {
+	Version    string          `json:"version"`
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	State      string          `json:"state"`
+	PointsDone int             `json:"points_done"`
+	Resumes    int             `json:"resumes,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// JobList is the response of GET /v1/jobs (no results inline).
+type JobList struct {
+	Version string      `json:"version"`
+	Jobs    []JobStatus `json:"jobs"`
 }

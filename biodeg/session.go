@@ -3,13 +3,17 @@ package biodeg
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/runner"
 	"repro/internal/runner/metrics"
 	"repro/internal/uarch"
 )
@@ -41,6 +45,13 @@ type Session struct {
 	partial      *bool
 	retries      *int
 	stageTimeout *time.Duration
+
+	// Durability (see WithCheckpoint). The journal opens lazily on the
+	// session's first operation and stays open until Close.
+	checkpoint *string
+	cpOnce     sync.Once
+	cpJournal  *checkpoint.Journal
+	cpErr      error
 }
 
 // Option configures a Session at New time.
@@ -122,6 +133,19 @@ func WithStageTimeout(d time.Duration) Option {
 	return func(s *Session) { s.stageTimeout = &d }
 }
 
+// WithCheckpoint names a directory holding the session's crash-safe
+// sweep journal (internal/checkpoint): every completed grid point and
+// finished experiment commits a durable record, and a later session
+// (or process) given the same directory resumes — journaled points are
+// replayed bit-identically instead of recomputed. The journal is bound
+// to the session's result-shaping knobs (fault spec, partial mode); a
+// directory written under different knobs is rejected with a clear
+// error rather than silently merged. "" disables checkpointing. Use
+// one journal directory per concurrently-running process.
+func WithCheckpoint(dir string) Option {
+	return func(s *Session) { s.checkpoint = &dir }
+}
+
 // New builds a Session from the given options.
 func New(opts ...Option) *Session {
 	s := &Session{}
@@ -160,12 +184,41 @@ func (s *Session) config() config.Config {
 	if s.inj != nil {
 		c.Faults = s.inj.Spec().String()
 	}
+	if s.checkpoint != nil {
+		c.Checkpoint = *s.checkpoint
+	}
 	return c
 }
 
-// bind attaches the session's configuration (and tracer, if any) to
-// ctx; every public method funnels through it.
-func (s *Session) bind(ctx context.Context) context.Context {
+// journal lazily opens the session's checkpoint journal — once, from
+// the directory the effective config names at first use. The journal
+// header is bound to the knobs that shape results (fault spec, partial
+// mode), so resuming under changed knobs fails loudly instead of
+// merging incompatible records.
+func (s *Session) journal(ctx context.Context) (*checkpoint.Journal, error) {
+	cfg := s.config()
+	if cfg.Checkpoint == "" {
+		return nil, nil
+	}
+	s.cpOnce.Do(func() {
+		meta := checkpoint.Meta{
+			Tool:  "biodeg",
+			Label: "session",
+			ConfigDigest: checkpoint.ConfigDigest(map[string]string{
+				"faults":  cfg.Faults,
+				"partial": fmt.Sprintf("%t", cfg.PartialResults),
+			}),
+		}
+		s.cpJournal, _, s.cpErr = checkpoint.Open(ctx, filepath.Join(cfg.Checkpoint, "journal.bdj"), meta)
+	})
+	return s.cpJournal, s.cpErr
+}
+
+// bind attaches the session's configuration (and tracer, injector,
+// journal, if any) to ctx; every public method funnels through it. A
+// checkpoint already on ctx (the daemon's per-job journals) wins over
+// the session's own.
+func (s *Session) bind(ctx context.Context) (context.Context, error) {
 	ctx = config.WithContext(ctx, s.config())
 	if s.tracer != nil {
 		ctx = obs.ContextWithTracer(ctx, s.tracer)
@@ -173,7 +226,35 @@ func (s *Session) bind(ctx context.Context) context.Context {
 	if s.inj != nil {
 		ctx = fault.WithInjector(ctx, s.inj)
 	}
-	return ctx
+	if runner.CheckpointFrom(ctx) == nil {
+		j, err := s.journal(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if j != nil {
+			ctx = runner.WithCheckpoint(ctx, j)
+		}
+	}
+	return ctx, nil
+}
+
+// CheckpointStats reports the session journal's activity so far (zero
+// when the session has no checkpoint directory or has not yet run).
+func (s *Session) CheckpointStats() checkpoint.Stats {
+	if s.cpJournal == nil {
+		return checkpoint.Stats{}
+	}
+	return s.cpJournal.Stats()
+}
+
+// Close releases the session's checkpoint journal, if one was opened.
+// Committed records are already durable; Close only ends the session.
+// A Session without a checkpoint needs no Close.
+func (s *Session) Close() error {
+	if s.cpJournal == nil {
+		return nil
+	}
+	return s.cpJournal.Close()
 }
 
 // FaultCounters reports what the session's own injector has fired so
@@ -201,27 +282,43 @@ func (s *Session) Tracer() *Tracer { return s.tracer }
 // sweep fans out on the session's worker pool and stops early when ctx
 // is cancelled.
 func (s *Session) ALUDepth(ctx context.Context, t *Technology, maxStages int) ([]ALUPoint, error) {
-	return core.ALUDepthSweepCtx(s.bind(ctx), t, maxStages, true)
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.ALUDepthSweepCtx(ctx, t, maxStages, true)
 }
 
 // CoreDepth sweeps the 9-stage baseline core to maxDepth by repeatedly
 // cutting the critical stage, reproducing Figure 11. Points carry
 // per-benchmark IPC and performance.
 func (s *Session) CoreDepth(ctx context.Context, t *Technology, minDepth, maxDepth int) ([]DepthPoint, error) {
-	return core.CoreDepthSweepCtx(s.bind(ctx), t, minDepth, maxDepth, true)
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.CoreDepthSweepCtx(ctx, t, minDepth, maxDepth, true)
 }
 
 // Widths sweeps the thirty superscalar width configurations
 // (front-end 1-6 x back-end 3-7), reproducing Figures 13-14.
 func (s *Session) Widths(ctx context.Context, t *Technology) ([]WidthPoint, error) {
-	return core.WidthSweepCtx(s.bind(ctx), t)
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.WidthSweepCtx(ctx, t)
 }
 
 // SimulateIPC runs one benchmark through the cycle-level core model,
 // verifying the workload's architectural result, and returns timing
 // statistics (IPC, mispredicts, cache misses).
 func (s *Session) SimulateIPC(ctx context.Context, bench string, cfg CoreConfig) (Stats, error) {
-	return core.BenchIPCCtx(s.bind(ctx), bench, cfg)
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	return core.BenchIPCCtx(ctx, bench, cfg)
 }
 
 // RunExperiment runs one experiment by ID ("fig3", "fig11", ...) under
@@ -248,12 +345,20 @@ func (s *Session) RunExperiments(ctx context.Context, ids ...string) ([]Experime
 			return nil, fmt.Errorf("biodeg: unknown experiment %q", id)
 		}
 	}
-	return core.RunExperiments(s.bind(ctx), exps)
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunExperiments(ctx, exps)
 }
 
 // RunAll runs the whole registry concurrently, in registry order.
 func (s *Session) RunAll(ctx context.Context) ([]ExperimentResult, error) {
-	return core.RunExperiments(s.bind(ctx), core.Experiments())
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunExperiments(ctx, core.Experiments())
 }
 
 // OnProgress installs fn as a process-wide progress hook, invoked after

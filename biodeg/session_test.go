@@ -35,6 +35,18 @@ func poolPeak(t *testing.T, ctx context.Context, n int) int {
 	return int(peak.Load())
 }
 
+// mustBind binds a session without a checkpoint journal, so bind cannot
+// fail; safe from helper goroutines (reports via Errorf, never Fatal).
+func mustBind(t *testing.T, s *Session) context.Context {
+	t.Helper()
+	ctx, err := s.bind(context.Background())
+	if err != nil {
+		t.Errorf("bind: %v", err)
+		return context.Background()
+	}
+	return ctx
+}
+
 func TestSessionOptionResolution(t *testing.T) {
 	old := config.Default()
 	defer config.SetDefault(old)
@@ -74,7 +86,7 @@ func TestSessionOptionResolution(t *testing.T) {
 func TestSessionBindCarriesConfigAndTracer(t *testing.T) {
 	tr := NewTracer()
 	s := New(WithWorkers(4), WithTracer(tr))
-	ctx := s.bind(context.Background())
+	ctx := mustBind(t, s)
 	if got := runner.WorkersFor(ctx); got != 4 {
 		t.Errorf("bound context worker count = %d, want 4", got)
 	}
@@ -103,7 +115,7 @@ func TestSessionPoolIsolation(t *testing.T) {
 		wg.Add(1)
 		go func(i int, s *Session) {
 			defer wg.Done()
-			peaks[i] = poolPeak(t, s.bind(context.Background()), 16)
+			peaks[i] = poolPeak(t, mustBind(t, s), 16)
 		}(i, s)
 	}
 	wg.Wait()
@@ -123,9 +135,9 @@ func TestSessionTracerIsolation(t *testing.T) {
 	a := New(WithTracer(trA))
 	b := New(WithTracer(trB))
 
-	_, sp := obs.Start(a.bind(context.Background()), "work-a")
+	_, sp := obs.Start(mustBind(t, a), "work-a")
 	sp.End()
-	_, sp = obs.Start(b.bind(context.Background()), "work-b")
+	_, sp = obs.Start(mustBind(t, b), "work-b")
 	sp.End()
 
 	ta, tb := trA.Collect(), trB.Collect()

@@ -6,7 +6,8 @@
 //
 //	biodegd [-addr :8080] [-max-inflight N] [-cache N]
 //	        [-request-timeout 5m] [-drain-timeout 30s]
-//	        [-breaker-threshold N] [-breaker-cooldown 5s] [common flags]
+//	        [-breaker-threshold N] [-breaker-cooldown 5s]
+//	        [-jobs DIR] [common flags]
 //
 // Endpoints:
 //
@@ -17,6 +18,9 @@
 //	POST /v1/experiments/{id}/run    run one experiment
 //	POST /v1/sweeps/{kind}           alu-depth | core-depth | width
 //	POST /v1/simulate                one benchmark through the core model
+//	POST /v1/jobs                    submit a durable job (with -jobs)
+//	GET  /v1/jobs                    list durable jobs
+//	GET  /v1/jobs/{id}               job progress and result
 //	GET  /v1/progress                Server-Sent Events progress stream
 //	GET  /debug/pprof/               runtime profiles
 //
@@ -27,12 +31,19 @@
 // requests (bounded by -drain-timeout) before exit, then writes any
 // requested trace/manifest sinks.
 //
+// With -jobs DIR the daemon keeps a durable job store: POST /v1/jobs
+// returns an ID immediately, the computation journals every completed
+// grid point under DIR, and a daemon killed mid-job resumes it at the
+// next startup with the journaled points skipped. Idempotency keys (or
+// byte-equivalent requests) dedupe client retries onto the same job.
+//
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
 // -trace, -jsonl, -manifest, -pprof, -faults, -retries,
-// -stage-timeout, -partial. With -faults the daemon injects
-// deterministic chaos into its own sweeps (sites "server:{path}",
-// "depth-point:...", ...) and reports counters at /v1/faultz.
+// -stage-timeout, -partial, -checkpoint. With -faults the daemon
+// injects deterministic chaos into its own sweeps (sites
+// "server:{path}", "depth-point:...", ...) and reports counters at
+// /v1/faultz.
 package main
 
 import (
@@ -60,6 +71,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive engine failures opening the circuit breaker, 0 = default, -1 = disabled")
 	brkCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker rest before the half-open probe, 0 = default")
+	jobDir := flag.String("jobs", "", "directory backing the durable job store; empty disables /v1/jobs")
 	flag.Parse()
 
 	run, _, err := opts.Start("biodegd")
@@ -82,6 +94,12 @@ func main() {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 	})
+	if *jobDir != "" {
+		if err := srv.EnableJobs(*jobDir); err != nil {
+			fmt.Fprintf(os.Stderr, "biodegd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

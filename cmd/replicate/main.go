@@ -14,7 +14,8 @@
 //
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
-// -trace, -jsonl, -manifest, -pprof.
+// -trace, -jsonl, -manifest, -pprof, -faults, -retries,
+// -stage-timeout, -partial, -checkpoint.
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 
 	start := time.Now()
 	session := biodeg.New()
+	defer session.Close() //nolint:errcheck // committed records are already durable
 	var results []biodeg.ExperimentResult
 	if *only != "" {
 		ids := strings.Split(*only, ",")

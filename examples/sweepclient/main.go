@@ -7,19 +7,22 @@
 //
 // The client is a polite citizen of a loaded daemon: when a request is
 // shed (429, admission semaphore full) or rejected by the open circuit
-// breaker (503), it honors the Retry-After header — capped, with an
-// exponential-backoff fallback when the header is absent — and retries
-// up to maxRetries times before giving up.
+// breaker (503), it honors the Retry-After header — in either of its
+// RFC 9110 forms, delay-seconds or an HTTP-date — capped per sleep,
+// with an exponential-backoff fallback when the header is absent, and
+// retries up to maxRetries times within the -max-wait total budget
+// before giving up.
 //
 // Start the daemon first, then point the client at it:
 //
 //	go run ./cmd/biodegd -addr localhost:8080 &
-//	go run ./examples/sweepclient http://localhost:8080
+//	go run ./examples/sweepclient [-max-wait 1m] http://localhost:8080
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -39,10 +42,19 @@ const (
 	maxRetryAfter = 10 * time.Second
 )
 
+// maxWait is the total retry budget across all requests: once the
+// client has spent this long sleeping on 429/503 backoff, the next
+// overload response is fatal instead of retried.
+var maxWait = flag.Duration("max-wait", time.Minute, "total time budget for 429/503 retry sleeps before giving up")
+
+// waited accumulates backoff sleeps against the -max-wait budget.
+var waited time.Duration
+
 func main() {
+	flag.Parse()
 	base := "http://localhost:8080"
-	if len(os.Args) > 1 {
-		base = os.Args[1]
+	if flag.NArg() > 0 {
+		base = flag.Arg(0)
 	}
 	client := &http.Client{Timeout: 5 * time.Minute}
 
@@ -94,8 +106,9 @@ func post(client *http.Client, url string, v, out any) string {
 
 // doWithRetry issues send() until the response is not a retryable
 // overload signal (429 shed, 503 breaker), sleeping per Retry-After
-// between tries, then decodes it into out. Non-retryable failures are
-// fatal.
+// between tries, then decodes it into out. Retrying stops when the
+// attempt count or the -max-wait sleep budget runs out; non-retryable
+// failures are fatal.
 func doWithRetry(url string, out any, send func() (*http.Response, error)) *http.Response {
 	for attempt := 0; ; attempt++ {
 		resp, err := send()
@@ -104,6 +117,12 @@ func doWithRetry(url string, out any, send func() (*http.Response, error)) *http
 		}
 		if retryable(resp.StatusCode) && attempt < maxRetries {
 			d := retryDelay(resp, attempt)
+			if waited+d > *maxWait {
+				resp.Body.Close()
+				log.Fatalf("%s: %d: retry budget exhausted (%v slept, -max-wait %v)",
+					url, resp.StatusCode, waited, *maxWait)
+			}
+			waited += d
 			resp.Body.Close()
 			fmt.Fprintf(os.Stderr, "sweepclient: %s returned %d, retrying in %v (attempt %d/%d)\n",
 				url, resp.StatusCode, d, attempt+1, maxRetries)
@@ -119,19 +138,17 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
-// retryDelay reads the Retry-After header (delay-seconds form), capped
-// at maxRetryAfter; without a usable header it falls back to capped
-// exponential backoff from 250ms.
+// retryDelay reads the Retry-After header in either RFC 9110 form —
+// delay-seconds or an HTTP-date (a past date means retry now, so it
+// falls through to backoff) — capped at maxRetryAfter; without a usable
+// header it falls back to capped exponential backoff from 250ms.
 func retryDelay(resp *http.Response, attempt int) time.Duration {
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-			d := time.Duration(secs) * time.Second
-			if d > maxRetryAfter {
-				d = maxRetryAfter
-			}
-			if d > 0 {
-				return d
-			}
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		if d > maxRetryAfter {
+			d = maxRetryAfter
+		}
+		if d > 0 {
+			return d
 		}
 	}
 	d := 250 * time.Millisecond << attempt
@@ -139,6 +156,26 @@ func retryDelay(resp *http.Response, attempt int) time.Duration {
 		d = maxRetryAfter
 	}
 	return d
+}
+
+// parseRetryAfter interprets a Retry-After header value: delay-seconds
+// ("120") or an HTTP-date in any format http.ParseTime accepts
+// (RFC 1123 "Mon, 02 Jan 2006 15:04:05 GMT", RFC 850, or asctime),
+// relative to now. ok is false for an empty or malformed value.
+func parseRetryAfter(s string, now time.Time) (time.Duration, bool) {
+	if s == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		return t.Sub(now), true
+	}
+	return 0, false
 }
 
 func decodeResponse(resp *http.Response, url string, out any) {

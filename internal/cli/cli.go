@@ -46,6 +46,9 @@ type Options struct {
 	Retries      int           // -retries       / BIODEG_RETRIES (-1 = auto)
 	StageTimeout time.Duration // -stage-timeout / BIODEG_STAGE_TIMEOUT
 	Partial      bool          // -partial       / BIODEG_PARTIAL
+
+	// Durability flag.
+	Checkpoint string // -checkpoint / BIODEG_CHECKPOINT
 }
 
 // AutoRetries is the retry budget -retries=-1 resolves to when fault
@@ -106,6 +109,8 @@ func Register(fs *flag.FlagSet) *Options {
 		"per-attempt deadline for each sweep task, 0 = none (env BIODEG_STAGE_TIMEOUT)")
 	fs.BoolVar(&o.Partial, "partial", envBool("BIODEG_PARTIAL"),
 		"annotate failed grid points and keep sweeping instead of aborting; implied by -faults (env BIODEG_PARTIAL)")
+	fs.StringVar(&o.Checkpoint, "checkpoint", os.Getenv("BIODEG_CHECKPOINT"),
+		"directory holding the crash-safe sweep journal; a rerun with the same directory resumes, skipping journaled points (env BIODEG_CHECKPOINT)")
 	return o
 }
 
@@ -149,6 +154,7 @@ func (o *Options) configWith(spec fault.Spec) config.Config {
 		StageTimeout:   o.StageTimeout,
 		PartialResults: o.Partial || spec.Enabled(),
 		Faults:         spec.String(),
+		Checkpoint:     o.Checkpoint,
 	}
 }
 
@@ -198,7 +204,8 @@ func (o *Options) Start(tool string) (*Run, context.Context, error) {
 			}
 			return ""
 		}(),
-		"BIODEG_PARTIAL": boolEnv(cfg.PartialResults),
+		"BIODEG_PARTIAL":    boolEnv(cfg.PartialResults),
+		"BIODEG_CHECKPOINT": cfg.Checkpoint,
 	})
 	ctx, root := obs.Start(context.Background(), "run", obs.KV("tool", tool))
 	return &Run{Opts: o, Manifest: m, root: root, start: time.Now()}, config.WithContext(ctx, cfg), nil

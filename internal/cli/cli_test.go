@@ -31,6 +31,7 @@ func pinEnv(t *testing.T) {
 		"BIODEG_WORKERS", "BIODEG_METRICS", "BIODEG_LIBCACHE",
 		"BIODEG_TRACE", "BIODEG_TRACE_JSONL", "BIODEG_MANIFEST", "BIODEG_PPROF",
 		"BIODEG_FAULTS", "BIODEG_RETRIES", "BIODEG_STAGE_TIMEOUT", "BIODEG_PARTIAL",
+		"BIODEG_CHECKPOINT",
 	} {
 		t.Setenv(k, os.Getenv(k))
 		os.Unsetenv(k)
@@ -201,5 +202,41 @@ func TestNoSinksMeansNoTracing(t *testing.T) {
 	}
 	if err := run.Finish(); err != nil {
 		t.Errorf("Finish with no sinks: %v", err)
+	}
+}
+
+func TestCheckpointFlagAndEnv(t *testing.T) {
+	pinEnv(t)
+
+	// Default: checkpointing off.
+	if cfg := register(t).Config(); cfg.Checkpoint != "" {
+		t.Errorf("default Checkpoint = %q, want off", cfg.Checkpoint)
+	}
+
+	// Env provides the default, flag overrides it.
+	t.Setenv("BIODEG_CHECKPOINT", "/tmp/env-ckpt")
+	if cfg := register(t).Config(); cfg.Checkpoint != "/tmp/env-ckpt" {
+		t.Errorf("env Checkpoint = %q, want /tmp/env-ckpt", cfg.Checkpoint)
+	}
+	o := register(t, "-checkpoint", "/tmp/flag-ckpt")
+	if cfg := o.Config(); cfg.Checkpoint != "/tmp/flag-ckpt" {
+		t.Errorf("flag Checkpoint = %q, want /tmp/flag-ckpt", cfg.Checkpoint)
+	}
+
+	// Start installs it as the process default and records it in the
+	// manifest knobs, so the package-default session resumes too.
+	run, ctx, err := o.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Finish()
+	if got := config.Default().Checkpoint; got != "/tmp/flag-ckpt" {
+		t.Errorf("default config Checkpoint = %q after Start", got)
+	}
+	if got := config.Get(ctx).Checkpoint; got != "/tmp/flag-ckpt" {
+		t.Errorf("Start context Checkpoint = %q", got)
+	}
+	if got := run.Manifest.Env["BIODEG_CHECKPOINT"]; got != "/tmp/flag-ckpt" {
+		t.Errorf("manifest knobs BIODEG_CHECKPOINT = %q", got)
 	}
 }

@@ -49,6 +49,13 @@ type Config struct {
 	// The live injector travels separately (internal/fault); this string
 	// exists so manifests and reports record the chaos posture.
 	Faults string
+
+	// Checkpoint names a directory holding the crash-safe sweep journal
+	// (internal/checkpoint); "" disables checkpointing. A run started
+	// with the same directory resumes: journaled grid points and
+	// finished experiments are replayed bit-identically instead of
+	// recomputed.
+	Checkpoint string
 }
 
 // DefaultRetryBase is the backoff window base when RetryBase is unset:

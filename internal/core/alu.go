@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -90,10 +92,16 @@ func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedb
 		}
 		return pipeline.PointAt(ctx, res, dff, cfg, i+1), nil
 	}
-	if !config.Get(ctx).PartialResults {
-		return runner.Map(ctx, maxStages, point)
+	// Each depth is one checkpoint record: a resumed sweep replays
+	// journaled depths bit-identically and computes only the rest.
+	key := func(i int) string {
+		return checkpoint.PointID("alu", t.Name, wireTag(wire),
+			"k"+strconv.FormatFloat(feedbackK, 'g', -1, 64), "n"+strconv.Itoa(i+1))
 	}
-	pts, errs, err := runner.MapPartial(ctx, maxStages, point)
+	if !config.Get(ctx).PartialResults {
+		return runner.MapKeyed(ctx, maxStages, key, point)
+	}
+	pts, errs, err := runner.MapPartialKeyed(ctx, maxStages, key, point)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -98,10 +100,17 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 		}
 		return BenchIPCCtx(ctx, bench, uarchConfig(fe, be, pt.Cuts))
 	}
+	// One checkpoint record per (depth, benchmark) pair; the cheap
+	// serial timing walk above recomputes deterministically on resume.
+	key := func(i int) string {
+		pt, bench := pts[i/len(benches)], benches[i%len(benches)]
+		return checkpoint.PointID("depth", t.Name, wireTag(wire),
+			"d"+strconv.Itoa(pt.Depth), bench)
+	}
 	var stats []uarch.Stats
 	if config.Get(ctx).PartialResults {
 		var errs []*runner.TaskError
-		stats, errs, err = runner.MapPartial(ctx, len(pts)*len(benches), point)
+		stats, errs, err = runner.MapPartialKeyed(ctx, len(pts)*len(benches), key, point)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +122,7 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 			pt.Errors[b] = runner.ErrLabel(te.Err)
 		}
 	} else {
-		stats, err = runner.Map(ctx, len(pts)*len(benches), point)
+		stats, err = runner.MapKeyed(ctx, len(pts)*len(benches), key, point)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cells"
+	"repro/internal/checkpoint"
 	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -35,6 +36,12 @@ type ExperimentResult struct {
 // rest; experiments not yet started are skipped. Each experiment runs
 // under an "experiment" span whose duration feeds the "experiment"
 // metrics stage; nested sweeps and analyses parent to it.
+//
+// Under a context checkpoint (runner.WithCheckpoint), each completed
+// experiment's tables are journaled whole under "experiment/{id}", and
+// the sweeps inside journal their grid points individually — so a
+// resumed run replays finished experiments instantly and finished
+// points of the interrupted one.
 func RunExperiments(ctx context.Context, exps []*Experiment) ([]ExperimentResult, error) {
 	return runner.Map(ctx, len(exps), func(ctx context.Context, i int) (ExperimentResult, error) {
 		e := exps[i]
@@ -42,7 +49,8 @@ func RunExperiments(ctx context.Context, exps []*Experiment) ([]ExperimentResult
 			obs.KV("experiment", e.ID), obs.Stage(metrics.StageExperiment))
 		defer sp.End()
 		start := time.Now()
-		tables, err := e.Run(ctx)
+		tables, err := runner.Checkpointed(ctx, checkpoint.PointID("experiment", e.ID),
+			func(ctx context.Context) ([]*Table, error) { return e.Run(ctx) })
 		if err != nil {
 			return ExperimentResult{}, fmt.Errorf("%s: %w", e.ID, err)
 		}

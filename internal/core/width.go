@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -76,10 +78,16 @@ func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 			Perf:    mean * tp.Freq,
 		}, nil
 	}
-	if !config.Get(ctx).PartialResults {
-		return runner.Map(ctx, n, point)
+	// One checkpoint record per (front, back) configuration.
+	key := func(i int) string {
+		fe, be := MinFront+i%cols, MinBack+i/cols
+		return checkpoint.PointID("width", t.Name,
+			"fe"+strconv.Itoa(fe), "be"+strconv.Itoa(be))
 	}
-	pts, errs, err := runner.MapPartial(ctx, n, point)
+	if !config.Get(ctx).PartialResults {
+		return runner.MapKeyed(ctx, n, key, point)
+	}
+	pts, errs, err := runner.MapPartialKeyed(ctx, n, key, point)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,12 @@ const (
 	KindLatency
 	// KindPanic makes the site panic.
 	KindPanic
+	// KindKill makes the site panic with a Kill value — a process-abort
+	// style crash that bypasses runner (and Memo) recovery, so chaos
+	// tests can simulate a hard mid-write crash (SIGKILL, OOM) instead
+	// of an error the retry machinery absorbs. Never part of the
+	// default kind set; it must be named explicitly (kinds=...+kill).
+	KindKill
 	numKinds
 )
 
@@ -42,6 +48,8 @@ func (k Kind) String() string {
 		return "latency"
 	case KindPanic:
 		return "panic"
+	case KindKill:
+		return "kill"
 	}
 	return "kind" + strconv.Itoa(int(k))
 }
@@ -142,8 +150,10 @@ func Parse(s string) (Spec, error) {
 					spec.Kinds = append(spec.Kinds, KindLatency)
 				case "panic":
 					spec.Kinds = append(spec.Kinds, KindPanic)
+				case "kill":
+					spec.Kinds = append(spec.Kinds, KindKill)
 				default:
-					err = fmt.Errorf("unknown kind %q (want error, latency, or panic)", name)
+					err = fmt.Errorf("unknown kind %q (want error, latency, panic, or kill)", name)
 				}
 				if err != nil {
 					break
@@ -284,9 +294,33 @@ func (in *Injector) Inject(ctx context.Context, site string) error {
 		}
 	case KindPanic:
 		panic(fmt.Sprintf("fault: injected panic at %s (attempt %d)", site, attempt))
+	case KindKill:
+		panic(Kill{Site: site, Attempt: attempt})
 	default:
 		return fmt.Errorf("%w: %s at %s (attempt %d)", ErrInjected, KindError, site, attempt)
 	}
+}
+
+// Kill is the panic value of a KindKill injection. Recovery layers
+// that normally convert panics to errors (internal/runner's task
+// recovery, runner.Memo, the server's leader recovery) check IsKill
+// and re-panic, so a Kill propagates to the top of its goroutine and
+// aborts the process — the closest in-process analogue of a SIGKILL.
+type Kill struct {
+	Site    string
+	Attempt int
+}
+
+// String renders the crash cause seen in the process's dying stack.
+func (k Kill) String() string {
+	return fmt.Sprintf("fault: injected kill at %s (attempt %d)", k.Site, k.Attempt)
+}
+
+// IsKill reports whether a recovered panic value is a Kill — recovery
+// layers must re-panic such values rather than absorb them.
+func IsKill(r any) bool {
+	_, ok := r.(Kill)
+	return ok
 }
 
 // StageCount is one per-stage injection total of a Counters snapshot.
@@ -302,6 +336,7 @@ type Counters struct {
 	Error   int64        `json:"error"`
 	Latency int64        `json:"latency"`
 	Panic   int64        `json:"panic"`
+	Kill    int64        `json:"kill"`
 	Total   int64        `json:"total"`
 	Stages  []StageCount `json:"stages,omitempty"`
 }
@@ -316,8 +351,9 @@ func (in *Injector) Snapshot() Counters {
 		Error:   in.injected[KindError].Load(),
 		Latency: in.injected[KindLatency].Load(),
 		Panic:   in.injected[KindPanic].Load(),
+		Kill:    in.injected[KindKill].Load(),
 	}
-	c.Total = c.Error + c.Latency + c.Panic
+	c.Total = c.Error + c.Latency + c.Panic + c.Kill
 	in.mu.Lock()
 	for stage, n := range in.stages {
 		c.Stages = append(c.Stages, StageCount{Stage: stage, Count: n})

@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestKillKindPanicsWithKillValue(t *testing.T) {
+	spec, err := Parse("seed=3,rate=1,kinds=kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("kinds=kill at rate=1 must panic")
+		}
+		if !IsKill(r) {
+			t.Fatalf("recovered %T %v, want a Kill", r, r)
+		}
+		k := r.(Kill)
+		if k.Site != "depth-point:test" {
+			t.Errorf("Kill.Site = %q", k.Site)
+		}
+		if !strings.Contains(k.String(), "depth-point:test") {
+			t.Errorf("Kill.String() = %q, should name the site", k.String())
+		}
+		if got := in.Snapshot(); got.Kill != 1 || got.Total != 1 {
+			t.Errorf("counters after kill = %+v, want Kill=1", got)
+		}
+	}()
+	in.Inject(context.Background(), "depth-point:test") //nolint:errcheck // panics
+}
+
+func TestKillNotInDefaultKinds(t *testing.T) {
+	// A bare rate spec must never choose kill: simulated hard crashes
+	// are strictly opt-in.
+	spec, err := Parse("seed=1,rate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range spec.Kinds {
+		if k == KindKill {
+			t.Fatal("kill must not be a default kind")
+		}
+	}
+	// And the spec syntax round-trips it when asked for.
+	spec2, err := Parse("seed=1,rate=0.5,kinds=error+kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := spec2.String(); !strings.Contains(s, "kill") {
+		t.Errorf("String() = %q lost the kill kind", s)
+	}
+}
+
+func TestIsKill(t *testing.T) {
+	if !IsKill(Kill{Site: "x"}) {
+		t.Error("IsKill(Kill) = false")
+	}
+	for _, r := range []any{nil, "panic string", 42, struct{}{}} {
+		if IsKill(r) {
+			t.Errorf("IsKill(%v) = true", r)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/runner/metrics"
+)
+
+// Checkpoint is the completion sink + seed the pool consults when a
+// task carries a key: Lookup replays an already-journaled result
+// bit-identically (the task body — and any fault injection inside it —
+// never runs), Commit persists a freshly computed one. The canonical
+// implementation is internal/checkpoint's crash-safe Journal; tests
+// substitute in-memory fakes. Implementations must be safe for
+// concurrent use by the worker pool.
+type Checkpoint interface {
+	// Lookup returns the committed JSON value for key, if any.
+	Lookup(key string) ([]byte, bool)
+	// Commit durably records key's JSON value before returning.
+	Commit(ctx context.Context, key string, value []byte) error
+}
+
+// cpKey carries a Checkpoint through a context.
+type cpKey struct{}
+
+// WithCheckpoint returns a context under which keyed runner calls (and
+// Checkpointed) replay from and commit to cp. biodeg.Session attaches
+// its journal here; the daemon's job store attaches per-job journals,
+// which take precedence because the session only fills an empty slot.
+func WithCheckpoint(ctx context.Context, cp Checkpoint) context.Context {
+	return context.WithValue(ctx, cpKey{}, cp)
+}
+
+// CheckpointFrom returns the context-attached Checkpoint, or nil.
+func CheckpointFrom(ctx context.Context) Checkpoint {
+	cp, _ := ctx.Value(cpKey{}).(Checkpoint)
+	return cp
+}
+
+// Checkpointed runs compute under the context's Checkpoint: a
+// journaled key returns the committed value (counted in the
+// "checkpoint.skipped" metrics stage) without running compute at all;
+// a fresh key runs compute and commits its JSON encoding before
+// returning. With no Checkpoint attached — or an empty key — it is
+// exactly compute(ctx). Replay is bit-identical for the JSON-clean
+// result types the sweeps use (float64 survives Go's JSON round-trip
+// exactly; the tables are NaN-free by construction). A value that no
+// longer decodes into T (the record predates a type change the config
+// digest failed to capture) is recomputed rather than trusted.
+func Checkpointed[T any](ctx context.Context, key string, compute func(ctx context.Context) (T, error)) (T, error) {
+	cp := CheckpointFrom(ctx)
+	if cp == nil || key == "" {
+		return compute(ctx)
+	}
+	if raw, ok := cp.Lookup(key); ok {
+		var v T
+		if err := json.Unmarshal(raw, &v); err == nil {
+			metrics.Add(metrics.StageCheckpointSkipped, 1)
+			return v, nil
+		}
+	}
+	v, err := compute(ctx)
+	if err != nil {
+		return v, err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return v, fmt.Errorf("checkpoint: encoding %q: %w", key, err)
+	}
+	// A failed commit fails the task: silently dropping durability would
+	// turn the next resume into a partial recompute nobody asked for.
+	if err := cp.Commit(ctx, key, b); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+// KeyFunc names task i for checkpointing; returning "" opts the task
+// out (it always computes and never commits).
+type KeyFunc func(i int) string
+
+// MapKeyed is Map with per-task checkpoint keys: task i first consults
+// the context's Checkpoint under key(i) (see Checkpointed). With no
+// Checkpoint attached it is exactly Map.
+func MapKeyed[T any](ctx context.Context, n int, key KeyFunc, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return Map(ctx, n, keyed(key, fn))
+}
+
+// MapPartialKeyed is MapPartial with per-task checkpoint keys.
+func MapPartialKeyed[T any](ctx context.Context, n int, key KeyFunc, fn func(ctx context.Context, i int) (T, error)) ([]T, []*TaskError, error) {
+	return MapPartial(ctx, n, keyed(key, fn))
+}
+
+// keyed wraps a task function in the checkpoint consult/commit cycle.
+// The wrapper sits inside the pool's retry loop, so a retried task
+// re-checks the journal — harmless, and it means a commit that raced a
+// crash is found on the retry rather than recomputed.
+func keyed[T any](key KeyFunc, fn func(ctx context.Context, i int) (T, error)) func(ctx context.Context, i int) (T, error) {
+	return func(ctx context.Context, i int) (T, error) {
+		return Checkpointed(ctx, key(i), func(ctx context.Context) (T, error) {
+			return fn(ctx, i)
+		})
+	}
+}

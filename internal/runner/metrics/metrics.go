@@ -18,6 +18,13 @@ const (
 	StagePipeline     = "pipeline"     // depth partitioning / core timing
 	StageIPC          = "ipc"          // cycle-level benchmark simulation
 	StageExperiment   = "experiment"   // one registry experiment
+
+	// Checkpoint counters (internal/checkpoint, internal/runner): points
+	// replayed from a journal instead of recomputed, points committed to
+	// a journal, and journal loads.
+	StageCheckpointSkipped = "checkpoint.skipped"
+	StageCheckpointCommit  = "checkpoint.commit"
+	StageCheckpointLoad    = "checkpoint.load"
 )
 
 // bucketCount covers 1 us .. >=1000 s in power-of-ten buckets.

@@ -217,6 +217,12 @@ func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	attempt := func(ctx context.Context, i, a int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				if fault.IsKill(r) {
+					// A KindKill fault simulates a hard crash: re-panic so
+					// it aborts the process instead of becoming a retryable
+					// task error.
+					panic(r)
+				}
 				stack := make([]byte, 64<<10)
 				stack = stack[:runtime.Stack(stack, false)]
 				err = &PanicError{Index: i, Value: r, Stack: stack}
@@ -329,6 +335,9 @@ func (mm *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
+				if fault.IsKill(r) {
+					panic(r) // simulated hard crash; see forEach's attempt
+				}
 				stack := make([]byte, 64<<10)
 				stack = stack[:runtime.Stack(stack, false)]
 				e.err = &PanicError{Value: r, Stack: stack}

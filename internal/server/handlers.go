@@ -72,6 +72,56 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleJobCreate accepts a durable job (POST /v1/jobs): 202 for a
+// newly created job, 200 when the request deduped onto (or requeued) an
+// existing one. The response is the job's current status; poll
+// GET /v1/jobs/{id} for progress and the result.
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "durable jobs disabled (start biodegd with -jobs DIR)")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req api.JobRequest
+	if !decode(w, body, &req) {
+		return
+	}
+	j, existed, err := s.jobs.create(req)
+	if err != nil {
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	status := http.StatusAccepted
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.jobs.status(j, false))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "durable jobs disabled (start biodegd with -jobs DIR)")
+		return
+	}
+	writeJSON(w, http.StatusOK, api.JobList{Version: api.Version, Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "durable jobs disabled (start biodegd with -jobs DIR)")
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.status(j, true))
+}
+
 // canonical renders a decoded request back to deterministic JSON, so
 // two bodies that differ only in whitespace or field order coalesce and
 // cache as one computation.

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/biodeg/api"
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// jobStore is the durable half of the daemon: long computations
+// submitted to POST /v1/jobs survive both the submitting client and the
+// daemon process. Each job owns a directory under the store root:
+//
+//	<root>/<id>/job.json     durable job record (atomic writes)
+//	<root>/<id>/journal.bdj  per-job checkpoint journal
+//	<root>/<id>/result.json  rendered result (atomic write on success)
+//
+// The job's context carries its journal (runner.WithCheckpoint), so
+// every grid point the engine completes commits a durable record; a
+// daemon killed mid-job resumes it at the next startup with the
+// journaled points skipped. Job IDs are content-addressed — the digest
+// of the client's idempotency key, else of the canonical request — so a
+// client retrying a POST lands on the job it already created instead of
+// forking a duplicate computation.
+type jobStore struct {
+	dir string
+	eng Engine
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// job is one tracked job. meta is the durable state (mirrored to
+// job.json on every transition); journal is non-nil only while the job
+// runs, and feeds the live points_done count.
+type job struct {
+	mu      sync.Mutex
+	meta    jobMeta
+	journal *checkpoint.Journal
+}
+
+// jobMeta is the job.json schema.
+type jobMeta struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Request    json.RawMessage `json:"request"`
+	State      string          `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	PointsDone int             `json:"points_done"`
+	// Resumes counts daemon startups that found this job incomplete and
+	// relaunched it.
+	Resumes int `json:"resumes,omitempty"`
+}
+
+// newJobStore opens (creating if needed) the store rooted at dir and
+// loads every job directory found there. Incomplete jobs (pending or
+// running when the previous process died) are relaunched, each in its
+// own goroutine, resuming from its journal.
+func newJobStore(dir string, eng Engine) (*jobStore, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	st := &jobStore{dir: dir, eng: eng, jobs: make(map[string]*job)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name(), "job.json"))
+		if err != nil {
+			continue // not a job directory; leave it alone
+		}
+		var meta jobMeta
+		if err := json.Unmarshal(data, &meta); err != nil || meta.ID != e.Name() {
+			continue
+		}
+		j := &job{meta: meta}
+		st.jobs[meta.ID] = j
+		if meta.State == api.JobPending || meta.State == api.JobRunning {
+			j.meta.State = api.JobPending
+			j.meta.Resumes++
+			st.persist(j)
+			go st.run(j)
+		}
+	}
+	return st, nil
+}
+
+// jobID content-addresses a request: the digest of the idempotency key
+// when the client gave one, else of the canonical request JSON.
+func jobID(req api.JobRequest, canonical []byte) string {
+	seed := req.IdempotencyKey
+	if seed == "" {
+		seed = string(canonical)
+	}
+	return obs.Digest("job\x00" + seed)[:16]
+}
+
+// create registers (or dedupes onto) the job for req. A job that
+// previously failed is requeued — its journal survives, so only the
+// points beyond the failure recompute. existed reports whether the POST
+// deduped onto an already-known job.
+func (st *jobStore) create(req api.JobRequest) (j *job, existed bool, err error) {
+	switch req.Kind {
+	case api.JobExperiment:
+		if req.Experiment == "" {
+			return nil, false, fmt.Errorf("%w: kind %q needs an experiment ID", ErrBadRequest, req.Kind)
+		}
+	case api.SweepALUDepth, api.SweepCoreDepth, api.SweepWidth:
+	default:
+		return nil, false, fmt.Errorf("%w: unknown job kind %q (want %s, %s, %s, or %s)",
+			ErrBadRequest, req.Kind, api.JobExperiment, api.SweepALUDepth, api.SweepCoreDepth, api.SweepWidth)
+	}
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	id := jobID(req, canonical)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[id]; ok {
+		j.mu.Lock()
+		requeue := j.meta.State == api.JobFailed
+		if requeue {
+			j.meta.State = api.JobPending
+			j.meta.Error = ""
+		}
+		j.mu.Unlock()
+		if requeue {
+			st.persist(j)
+			go st.run(j)
+		}
+		return j, true, nil
+	}
+	j = &job{meta: jobMeta{ID: id, Kind: req.Kind, Request: canonical, State: api.JobPending}}
+	st.jobs[id] = j
+	st.persist(j)
+	go st.run(j)
+	return j, false, nil
+}
+
+// get returns a tracked job by ID.
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list snapshots every job's status, ordered by ID.
+func (st *jobStore) list() []api.JobStatus {
+	st.mu.Lock()
+	ids := make([]string, 0, len(st.jobs))
+	for id := range st.jobs {
+		ids = append(ids, id)
+	}
+	st.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]api.JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := st.get(id); ok {
+			out = append(out, st.status(j, false))
+		}
+	}
+	return out
+}
+
+// jobDir is the job's directory under the store root.
+func (st *jobStore) jobDir(id string) string { return filepath.Join(st.dir, id) }
+
+// persist mirrors the job record to disk atomically, so a crash leaves
+// either the old record or the new one, never a torn mix.
+func (st *jobStore) persist(j *job) {
+	j.mu.Lock()
+	b, err := json.MarshalIndent(j.meta, "", "  ")
+	dir := st.jobDir(j.meta.ID)
+	j.mu.Unlock()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return
+	}
+	// A failed write leaves the previous record; the in-memory state is
+	// still authoritative for this process, and the stale record only
+	// costs a re-run after a crash.
+	checkpoint.WriteFileAtomic(filepath.Join(dir, "job.json"), b) //nolint:errcheck
+}
+
+// run executes a job to completion in its own goroutine, under
+// context.Background: a durable job outlives the submitting request.
+// An injected kinds=kill fault inside the computation panics through
+// this goroutine and takes the process down — exactly the crash the
+// journal exists for; the next startup resumes the job.
+func (st *jobStore) run(j *job) {
+	ctx := context.Background()
+	j.mu.Lock()
+	id, kind, reqJSON := j.meta.ID, j.meta.Kind, j.meta.Request
+	j.mu.Unlock()
+
+	// Digest the canonical re-marshalled request, not the raw bytes:
+	// job.json stores the request indented, so a resumed job's raw bytes
+	// differ from the ones the journal was created under.
+	var req api.JobRequest
+	if err := json.Unmarshal(reqJSON, &req); err != nil {
+		st.finish(j, nil, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		st.finish(j, nil, err)
+		return
+	}
+	meta := checkpoint.Meta{
+		Tool:         "biodegd",
+		Label:        "job/" + id,
+		ConfigDigest: checkpoint.ConfigDigest(map[string]string{"request": string(canonical)}),
+	}
+	jnl, _, err := checkpoint.Open(ctx, filepath.Join(st.jobDir(id), "journal.bdj"), meta)
+	if err != nil {
+		st.finish(j, nil, err)
+		return
+	}
+	defer jnl.Close() //nolint:errcheck // committed records are already durable
+
+	j.mu.Lock()
+	j.meta.State = api.JobRunning
+	j.journal = jnl
+	j.mu.Unlock()
+	st.persist(j)
+
+	ctx = runner.WithCheckpoint(ctx, jnl)
+	var v any
+	switch kind {
+	case api.JobExperiment:
+		v, err = st.eng.RunExperiment(ctx, req.Experiment)
+	default:
+		sweep := req.Sweep
+		if sweep == nil {
+			sweep = &api.SweepRequest{}
+		}
+		v, err = st.eng.Sweep(ctx, kind, *sweep)
+	}
+	st.finish(j, v, err)
+}
+
+// finish records the job's terminal state: the rendered result written
+// atomically on success, the error on failure, and the journal's record
+// count either way.
+func (st *jobStore) finish(j *job, v any, err error) {
+	var result []byte
+	if err == nil {
+		result, err = json.Marshal(v)
+	}
+	if err == nil {
+		err = checkpoint.WriteFileAtomic(filepath.Join(st.jobDir(j.meta.ID), "result.json"), result)
+	}
+	j.mu.Lock()
+	if j.journal != nil {
+		j.meta.PointsDone = j.journal.Len()
+		j.journal = nil
+	}
+	if err != nil {
+		j.meta.State = api.JobFailed
+		j.meta.Error = err.Error()
+	} else {
+		j.meta.State = api.JobDone
+		j.meta.Error = ""
+	}
+	j.mu.Unlock()
+	st.persist(j)
+}
+
+// status snapshots a job for the wire; withResult loads result.json
+// into the response for a done job.
+func (st *jobStore) status(j *job, withResult bool) api.JobStatus {
+	j.mu.Lock()
+	s := api.JobStatus{
+		Version:    api.Version,
+		ID:         j.meta.ID,
+		Kind:       j.meta.Kind,
+		State:      j.meta.State,
+		Error:      j.meta.Error,
+		PointsDone: j.meta.PointsDone,
+		Resumes:    j.meta.Resumes,
+	}
+	jnl := j.journal
+	j.mu.Unlock()
+	if jnl != nil {
+		s.PointsDone = jnl.Len()
+	}
+	if withResult && s.State == api.JobDone {
+		if b, err := os.ReadFile(filepath.Join(st.jobDir(s.ID), "result.json")); err == nil {
+			s.Result = json.RawMessage(b)
+		}
+	}
+	return s
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/biodeg/api"
+	"repro/internal/runner"
+)
+
+// journalingEngine is a fakeEngine whose sweep journals per-point
+// records through the context checkpoint, like the real engine's keyed
+// sweeps do — the piece the job store's durability hangs on. points
+// counts how many grid points actually computed (vs replayed).
+type journalingEngine struct {
+	fakeEngine
+	points atomic.Int64
+	fail   atomic.Bool // when set, the sweep fails after its first point
+}
+
+func (e *journalingEngine) Sweep(ctx context.Context, kind string, req api.SweepRequest) (*api.SweepResult, error) {
+	e.sweeps.Add(1)
+	pts := make([]api.ALUPoint, 3)
+	for i := range pts {
+		p, err := runner.Checkpointed(ctx, fmt.Sprintf("fake/%s/n%d", kind, i+1),
+			func(context.Context) (api.ALUPoint, error) {
+				e.points.Add(1)
+				if e.fail.Load() && i > 0 {
+					return api.ALUPoint{}, fmt.Errorf("engine down at point %d", i+1)
+				}
+				return api.ALUPoint{Stages: i + 1, FreqHz: float64(1000 * (i + 1))}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = p
+	}
+	return &api.SweepResult{Version: api.Version, Kind: kind, Tech: req.Tech, ALU: pts}, nil
+}
+
+// waitJob polls until the job leaves pending/running (the job runs in
+// its own goroutine) and returns its final status.
+func waitJob(t *testing.T, ts string, id string) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st api.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == api.JobDone || st.State == api.JobFailed {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return api.JobStatus{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	eng := &journalingEngine{}
+	s, ts := newTestServer(t, eng, Options{})
+	if err := s.EnableJobs(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"kind":"alu-depth","sweep":{"tech":"organic"},"idempotency_key":"job-1"}`
+	resp := post(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d, want 202: %s", resp.StatusCode, slurp(t, resp))
+	}
+	var created api.JobStatus
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" || created.Kind != api.SweepALUDepth {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// A retried POST with the same idempotency key dedupes: 200, same
+	// job, no second computation enqueued.
+	resp = post(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried POST = %d, want 200", resp.StatusCode)
+	}
+	var deduped api.JobStatus
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &deduped); err != nil {
+		t.Fatal(err)
+	}
+	if deduped.ID != created.ID {
+		t.Fatalf("retry created a second job: %s vs %s", deduped.ID, created.ID)
+	}
+
+	st := waitJob(t, ts.URL, created.ID)
+	if st.State != api.JobDone {
+		t.Fatalf("final state = %+v", st)
+	}
+	if st.PointsDone != 3 {
+		t.Errorf("points_done = %d, want 3 journaled points", st.PointsDone)
+	}
+	var res api.SweepResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("result not a SweepResult: %v", err)
+	}
+	if len(res.ALU) != 3 || res.ALU[2].FreqHz != 3000 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := eng.sweeps.Load(); got != 1 {
+		t.Errorf("engine ran %d sweeps for one job + one retry, want 1", got)
+	}
+
+	// The job list knows it; results stay out of the listing.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list api.JobList
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != created.ID || list.Jobs[0].Result != nil {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+// TestJobResumeAcrossRestart is the durability acceptance test at the
+// store level: a job whose process "crashed" mid-run (simulated by a
+// failing engine and a fresh server over the same directory) resumes,
+// replays the journaled point instead of recomputing it, and completes.
+func TestJobResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	eng := &journalingEngine{}
+	eng.fail.Store(true)
+	s, ts := newTestServer(t, eng, Options{})
+	if err := s.EnableJobs(dir); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts.URL+"/v1/jobs", `{"kind":"alu-depth","idempotency_key":"resume-me"}`)
+	var created api.JobStatus
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &created); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, ts.URL, created.ID); st.State != api.JobFailed || st.PointsDone != 1 {
+		t.Fatalf("first run = %+v, want failed with 1 journaled point", st)
+	}
+
+	// Simulate the crash-and-restart: doctor the on-disk record back to
+	// "running" (as a killed process leaves it) and open a fresh server
+	// over the same directory with a healthy engine.
+	metaPath := filepath.Join(dir, created.ID, "job.json")
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta jobMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta.State = api.JobRunning
+	// Indented like the store's own persist — a resumed job must accept
+	// its journal even though the stored request bytes are re-indented.
+	doctored, _ := json.MarshalIndent(meta, "", "  ")
+	if err := os.WriteFile(metaPath, doctored, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := &journalingEngine{}
+	s2, ts2 := newTestServer(t, eng2, Options{})
+	if err := s2.EnableJobs(dir); err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, ts2.URL, created.ID)
+	if st.State != api.JobDone {
+		t.Fatalf("resumed job = %+v, want done", st)
+	}
+	if st.Resumes != 1 {
+		t.Errorf("resumes = %d, want 1", st.Resumes)
+	}
+	if st.PointsDone != 3 {
+		t.Errorf("points_done = %d, want 3", st.PointsDone)
+	}
+	// Point 1 replayed from the journal: only points 2 and 3 computed.
+	if got := eng2.points.Load(); got != 2 {
+		t.Errorf("resumed run computed %d points, want 2 (first replayed)", got)
+	}
+	var res api.SweepResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ALU) != 3 || res.ALU[0].FreqHz != 1000 {
+		t.Fatalf("resumed result = %+v, want the replayed point intact", res)
+	}
+}
+
+func TestJobRequeueAfterFailure(t *testing.T) {
+	dir := t.TempDir()
+	eng := &journalingEngine{}
+	eng.fail.Store(true)
+	s, ts := newTestServer(t, eng, Options{})
+	if err := s.EnableJobs(dir); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"kind":"alu-depth","idempotency_key":"retry-me"}`
+	resp := post(t, ts.URL+"/v1/jobs", body)
+	var created api.JobStatus
+	if err := json.Unmarshal([]byte(slurp(t, resp)), &created); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, ts.URL, created.ID); st.State != api.JobFailed {
+		t.Fatalf("first run = %+v, want failed", st)
+	}
+
+	// Re-POSTing a failed job requeues it; with the engine healthy again
+	// it completes, replaying the already-journaled point.
+	eng.fail.Store(false)
+	eng.points.Store(0)
+	post(t, ts.URL+"/v1/jobs", body).Body.Close()
+	st := waitJob(t, ts.URL, created.ID)
+	if st.State != api.JobDone || st.Error != "" {
+		t.Fatalf("requeued job = %+v, want done", st)
+	}
+	if got := eng.points.Load(); got != 2 {
+		t.Errorf("requeue computed %d points, want 2 (first replayed)", got)
+	}
+}
+
+func TestJobValidationAndRouting(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, &journalingEngine{}, Options{})
+	if err := s.EnableJobs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"kind":"nope"}`, http.StatusBadRequest},
+		{`{"kind":"experiment"}`, http.StatusBadRequest}, // no experiment ID
+		{`{"kind":"alu-depth","bogus":1}`, http.StatusBadRequest},
+	} {
+		resp := post(t, ts.URL+"/v1/jobs", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %s = %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestJobRoutesDisabledWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, &fakeEngine{}, Options{})
+	for _, req := range []func() (*http.Response, error){
+		func() (*http.Response, error) { return http.Post(ts.URL+"/v1/jobs", "application/json", nil) },
+		func() (*http.Response, error) { return http.Get(ts.URL + "/v1/jobs") },
+		func() (*http.Response, error) { return http.Get(ts.URL + "/v1/jobs/x") },
+	} {
+		resp, err := req()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("jobs route without store = %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

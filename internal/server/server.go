@@ -100,6 +100,8 @@ type Server struct {
 	engineErrs atomic.Int64
 	compSeq    atomic.Int64 // led computations, the fault-draw attempt ordinal
 	started    time.Time
+	// jobs is the durable job store (nil until EnableJobs).
+	jobs *jobStore
 }
 
 // New builds the server around eng and installs the progress broker as
@@ -144,12 +146,28 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
 	s.mux.HandleFunc("POST /v1/sweeps/{kind}", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// EnableJobs opens the durable job store rooted at dir and resumes
+// every job the previous process left incomplete, each in its own
+// goroutine. Without EnableJobs the /v1/jobs routes answer 404. Use one
+// store directory per daemon process.
+func (s *Server) EnableJobs(dir string) error {
+	st, err := newJobStore(dir, s.eng)
+	if err != nil {
+		return err
+	}
+	s.jobs = st
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -272,6 +290,10 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route str
 				// an outcome to the breaker, so recover here rather than
 				// relying on the Memo's own recovery.
 				if p := recover(); p != nil {
+					if fault.IsKill(p) {
+						// A simulated hard crash must not be absorbed.
+						panic(p)
+					}
 					err = fmt.Errorf("recovered panic: %v", p)
 				}
 			}()

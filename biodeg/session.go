@@ -3,6 +3,7 @@ package biodeg
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/uarch"
 )
 
@@ -34,10 +36,12 @@ import (
 // time, so the package-default session behind the deprecated
 // top-level functions still follows the flags.
 type Session struct {
-	workers  *int
-	metrics  *bool
-	libCache *string
-	tracer   *obs.Tracer
+	workers   *int
+	metrics   *bool
+	libCache  *string
+	tracer    *obs.Tracer
+	telemetry *telemetry.Registry
+	logger    *slog.Logger
 
 	// Resilience options (see WithFaults, WithPartialResults,
 	// WithRetries, WithStageTimeout).
@@ -92,6 +96,30 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 // process-wide trace sinks.
 func WithTracer(tr *Tracer) Option {
 	return func(s *Session) { s.tracer = tr }
+}
+
+// Telemetry is an independent labeled metric registry (see
+// internal/telemetry): counters, gauges, and histograms keyed by label
+// sets, exposable in Prometheus text format via WritePrometheus.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty metric registry for WithTelemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WithTelemetry records the session's stage events and durations into
+// reg in addition to the process-default registry, so one session's
+// activity can be scraped or inspected in isolation (a multi-tenant
+// daemon, an A/B sweep comparison).
+func WithTelemetry(reg *Telemetry) Option {
+	return func(s *Session) { s.telemetry = reg }
+}
+
+// WithLogger attaches l to every context the session's methods derive,
+// so instrumented code logs through the session's logger (obs.LoggerFrom)
+// instead of the process default. Lines still carry the span_id of the
+// enclosing span when the handler is wrapped with obs.NewLogHandler.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Session) { s.logger = l }
 }
 
 // FaultSpec is a parsed fault-injection plan (see ParseFaults and
@@ -223,6 +251,12 @@ func (s *Session) bind(ctx context.Context) (context.Context, error) {
 	if s.tracer != nil {
 		ctx = obs.ContextWithTracer(ctx, s.tracer)
 	}
+	if s.telemetry != nil {
+		ctx = telemetry.WithContext(ctx, s.telemetry)
+	}
+	if s.logger != nil {
+		ctx = obs.ContextWithLogger(ctx, s.logger)
+	}
 	if s.inj != nil {
 		ctx = fault.WithInjector(ctx, s.inj)
 	}
@@ -276,6 +310,14 @@ func (s *Session) MetricsReport() string { return metrics.Report() }
 // Tracer returns the session's tracer, or nil when the session traces
 // into the process-wide buffer.
 func (s *Session) Tracer() *Tracer { return s.tracer }
+
+// Telemetry returns the session's metric registry, or nil when the
+// session records only into the process default.
+func (s *Session) Telemetry() *Telemetry { return s.telemetry }
+
+// Logger returns the session's logger, or nil when the session logs
+// through the process default.
+func (s *Session) Logger() *slog.Logger { return s.logger }
 
 // ALUDepth pipelines the 32-bit complex ALU (CSA multiplier + stallable
 // divider datapath) from 1 to maxStages, reproducing Figure 12. The

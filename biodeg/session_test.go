@@ -2,6 +2,8 @@ package biodeg
 
 import (
 	"context"
+	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -98,6 +100,78 @@ func TestSessionBindCarriesConfigAndTracer(t *testing.T) {
 	}
 	if New().Tracer() != nil {
 		t.Error("untraced session Tracer() should be nil")
+	}
+}
+
+// TestSessionTelemetryIsolation proves a WithTelemetry session records
+// its stage activity into its own registry — in addition to the process
+// default — while a plain session leaves that registry untouched.
+func TestSessionTelemetryIsolation(t *testing.T) {
+	reg := NewTelemetry()
+	s := New(WithTelemetry(reg), WithWorkers(1))
+	if s.Telemetry() != reg {
+		t.Fatal("Telemetry() should return the WithTelemetry value")
+	}
+	if New().Telemetry() != nil {
+		t.Fatal("plain session Telemetry() should be nil")
+	}
+	// An unlikely configuration, so the process-wide IPC memo cannot
+	// have it cached from another test (a memo hit records no stage).
+	cfg0 := DefaultCore()
+	cfg0.FrontStages = 6
+	cfg0.BackWidth = 5
+	if _, err := s.SimulateIPC(context.Background(), "dhrystone", cfg0); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "biodeg_stage_events_total") {
+		t.Errorf("session registry has no stage events after a simulation:\n%s", buf.String())
+	}
+
+	// The plain session must not write into reg. (Its activity still
+	// lands in the process default registry.)
+	fresh := NewTelemetry()
+	plain := New(WithWorkers(1))
+	cfg := DefaultCore()
+	cfg.FrontStages = 7 // distinct key so the IPC memo cannot elide the run
+	cfg.BackWidth = 5
+	if _, err := plain.SimulateIPC(context.Background(), "dhrystone", cfg); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := fresh.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "biodeg_stage_events_total{") {
+		t.Errorf("unrelated registry gained series:\n%s", buf.String())
+	}
+}
+
+// TestSessionLogger proves WithLogger travels through bind and that log
+// lines emitted under a session span carry its span_id.
+func TestSessionLogger(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(obs.NewLogHandler(slog.NewJSONHandler(&buf, nil)))
+	tr := NewTracer()
+	s := New(WithLogger(logger), WithTracer(tr), WithWorkers(1))
+	if s.Logger() != logger {
+		t.Fatal("Logger() should return the WithLogger value")
+	}
+	if New().Logger() != nil {
+		t.Fatal("plain session Logger() should be nil")
+	}
+	ctx := mustBind(t, s)
+	if obs.LoggerFrom(ctx) != logger {
+		t.Fatal("bound context should carry the session logger")
+	}
+	sctx, sp := obs.Start(ctx, "session.work")
+	obs.LoggerFrom(sctx).InfoContext(sctx, "hello")
+	sp.End()
+	if !strings.Contains(buf.String(), `"span_id"`) {
+		t.Errorf("session log line lacks span_id: %s", buf.String())
 	}
 }
 

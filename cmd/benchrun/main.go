@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	benchrun [-fe N] [-be N] [common flags] [benchmark|all]
+//	benchrun [-fe N] [-be N] [-json out.json] [common flags] [benchmark|all]
+//
+// With -json, each benchmark is additionally measured under
+// testing.Benchmark and a machine-readable report (schema
+// "biodeg-bench/v1": ns/op, allocs/op, bytes/op, go version, platform,
+// GOMAXPROCS, vcs revision — see EXPERIMENTS.md) is written to the
+// named file, so perf trajectories can be compared across commits.
 //
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
-// -trace, -jsonl, -manifest, -pprof.
+// -trace, -jsonl, -manifest, -pprof, -log-format, -log-level.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	fe := flag.Int("fe", 1, "front-end width (fetch/dispatch/retire)")
 	be := flag.Int("be", 3, "back-end execution pipes (1 mem + 1 control + be-2 ALU)")
 	depthF := flag.Int("front-stages", 4, "fetch-to-dispatch pipeline stages")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark report (schema biodeg-bench/v1) to this file")
 	flag.Parse()
 	which := flag.Arg(0)
 	if which == "" {
@@ -59,16 +66,20 @@ func main() {
 	cfg.FrontWidth = *fe
 	cfg.BackWidth = *be
 	cfg.FrontStages = *depthF
-	fmt.Printf("%-10s %8s %10s %8s %9s %9s\n", "bench", "IPC", "instrs", "cycles", "MPKI", "missrate")
 	failed := 0
-	for _, b := range benches {
-		st, err := session.SimulateIPC(ctx, b, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", b, err)
-			failed++
-			continue
+	if *jsonOut != "" {
+		failed = benchJSON(ctx, session, cfg, benches, *jsonOut)
+	} else {
+		fmt.Printf("%-10s %8s %10s %8s %9s %9s\n", "bench", "IPC", "instrs", "cycles", "MPKI", "missrate")
+		for _, b := range benches {
+			st, err := session.SimulateIPC(ctx, b, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", b, err)
+				failed++
+				continue
+			}
+			fmt.Printf("%-10s %8.3f %10d %8d %9.2f %9.3f\n", b, st.IPC, st.Instrs, st.Cycles, st.MPKI, st.MissRate)
 		}
-		fmt.Printf("%-10s %8.3f %10d %8d %9.2f %9.3f\n", b, st.IPC, st.Instrs, st.Cycles, st.MPKI, st.MissRate)
 	}
 	if session.MetricsEnabled() {
 		fmt.Fprintf(os.Stderr, "\nworkers: %d\n%s", session.Workers(), session.MetricsReport())

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"repro/biodeg"
+	"repro/internal/core"
+)
+
+// BenchSchema versions the -json report format; bump on any
+// field-meaning change. The schema is documented in EXPERIMENTS.md
+// ("Benchmark JSON schema").
+const BenchSchema = "biodeg-bench/v1"
+
+// BenchReport is the machine-readable result of one benchrun -json
+// invocation: enough environment identity (go version, platform,
+// GOMAXPROCS, vcs revision) to compare ns/op across commits — the
+// repository's performance trajectory.
+type BenchReport struct {
+	Schema      string    `json:"schema"`
+	Timestamp   time.Time `json:"timestamp"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	VCSRevision string    `json:"vcs_revision,omitempty"`
+	VCSModified bool      `json:"vcs_modified,omitempty"`
+
+	Core       BenchCore    `json:"core"`
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// BenchCore records the core configuration the benchmarks ran on.
+type BenchCore struct {
+	FrontWidth  int `json:"front_width"`
+	BackWidth   int `json:"back_width"`
+	FrontStages int `json:"front_stages"`
+}
+
+// BenchEntry is one benchmark's measurement: testing.Benchmark timing
+// plus the simulation's own statistics, or a non-empty Error.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	IPC         float64 `json:"ipc,omitempty"`
+	Instrs      uint64  `json:"instrs,omitempty"`
+	MPKI        float64 `json:"mpki,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// benchJSON measures every benchmark with testing.Benchmark (so N is
+// chosen adaptively and allocations are counted) and writes the report
+// to path. It returns the number of failed benchmarks.
+func benchJSON(ctx context.Context, session *biodeg.Session, cfg biodeg.CoreConfig, benches []string, path string) int {
+	rep := BenchReport{
+		Schema:     BenchSchema,
+		Timestamp:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Core: BenchCore{
+			FrontWidth:  cfg.FrontWidth,
+			BackWidth:   cfg.BackWidth,
+			FrontStages: cfg.FrontStages,
+		},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rep.VCSRevision = s.Value
+			case "vcs.modified":
+				rep.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	failed := 0
+	for _, b := range benches {
+		entry := BenchEntry{Name: b}
+		// A first untimed run surfaces errors (and warms the
+		// characterization caches) before the measured loop.
+		st, err := session.SimulateIPC(ctx, b, cfg)
+		if err != nil {
+			entry.Error = err.Error()
+			failed++
+			rep.Benchmarks = append(rep.Benchmarks, entry)
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", b, err)
+			continue
+		}
+		// The timed loop bypasses the process-wide IPC memo: a memo hit
+		// would measure a map lookup, not the simulator.
+		res := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := core.BenchIPCUncachedCtx(ctx, b, cfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		entry.N = res.N
+		entry.NsPerOp = float64(res.T.Nanoseconds()) / float64(res.N)
+		entry.AllocsPerOp = res.AllocsPerOp()
+		entry.BytesPerOp = res.AllocedBytesPerOp()
+		entry.IPC = st.IPC
+		entry.Instrs = st.Instrs
+		entry.MPKI = st.MPKI
+		rep.Benchmarks = append(rep.Benchmarks, entry)
+		fmt.Printf("%-10s %12.0f ns/op %8d allocs/op (n=%d)\n", b, entry.NsPerOp, entry.AllocsPerOp, entry.N)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: encoding report: %v\n", err)
+		return failed + 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		return failed + 1
+	}
+	return failed
+}

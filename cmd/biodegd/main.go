@@ -11,8 +11,9 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                    liveness + traffic counters
-//	GET  /metricsz                   per-stage wall-time report
+//	GET  /healthz                    liveness + traffic counters + build info
+//	GET  /metricsz                   Prometheus text exposition (?format=text
+//	                                 for the per-stage wall-time report)
 //	GET  /v1/faultz                  chaos counters + breaker state
 //	GET  /v1/experiments             registry listing
 //	POST /v1/experiments/{id}/run    run one experiment
@@ -40,7 +41,10 @@
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
 // -trace, -jsonl, -manifest, -pprof, -faults, -retries,
-// -stage-timeout, -partial, -checkpoint. With -faults the daemon
+// -stage-timeout, -partial, -checkpoint, -log-format, -log-level.
+// Every daemon log line goes through log/slog (-log-format json for
+// machine-readable logs) and carries the span_id of its enclosing
+// span, so logs correlate with -trace output. With -faults the daemon
 // injects deterministic chaos into its own sweeps (sites
 // "server:{path}", "depth-point:...", ...) and reports counters at
 // /v1/faultz.
@@ -51,6 +55,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,7 +79,7 @@ func main() {
 	jobDir := flag.String("jobs", "", "directory backing the durable job store; empty disables /v1/jobs")
 	flag.Parse()
 
-	run, _, err := opts.Start("biodegd")
+	run, runCtx, err := opts.Start("biodegd")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "biodegd: %v\n", err)
 		os.Exit(1)
@@ -93,10 +98,11 @@ func main() {
 		RequestTimeout:   *reqTimeout,
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
+		AccessLog:        true,
 	})
 	if *jobDir != "" {
 		if err := srv.EnableJobs(*jobDir); err != nil {
-			fmt.Fprintf(os.Stderr, "biodegd: %v\n", err)
+			slog.ErrorContext(runCtx, "job store init failed", "dir", *jobDir, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -111,31 +117,31 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "biodegd: listening on %s (workers=%d)\n", *addr, session.Workers())
+		slog.InfoContext(runCtx, "listening", "addr", *addr, "workers", session.Workers())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	exit := 0
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "biodegd: serve: %v\n", err)
+		slog.ErrorContext(runCtx, "serve failed", "err", err)
 		exit = 1
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "biodegd: signal received, draining")
+		slog.InfoContext(runCtx, "signal received, draining", "timeout", *drainTimeout)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "biodegd: drain: %v\n", err)
+			slog.ErrorContext(runCtx, "drain failed", "err", err)
 			exit = 1
 		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "biodegd: serve: %v\n", err)
+			slog.ErrorContext(runCtx, "serve failed", "err", err)
 			exit = 1
 		}
 	}
 
 	if err := run.Finish(); err != nil {
-		fmt.Fprintf(os.Stderr, "biodegd: %v\n", err)
+		slog.ErrorContext(runCtx, "sink write failed", "err", err)
 		exit = 1
 	}
 	os.Exit(exit)

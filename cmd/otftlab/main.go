@@ -10,7 +10,7 @@
 //
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
-// -trace, -jsonl, -manifest, -pprof.
+// -trace, -jsonl, -manifest, -pprof, -log-format, -log-level.
 package main
 
 import (

@@ -16,7 +16,10 @@
 // Start the daemon first, then point the client at it:
 //
 //	go run ./cmd/biodegd -addr localhost:8080 &
-//	go run ./examples/sweepclient [-max-wait 1m] http://localhost:8080
+//	go run ./examples/sweepclient [-max-wait 1m] [-log-format json] http://localhost:8080
+//
+// Diagnostics (retry notices, fatal errors) go through log/slog on
+// stderr; -log-format json switches them to one JSON object per line.
 package main
 
 import (
@@ -25,7 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -47,11 +50,25 @@ const (
 // overload response is fatal instead of retried.
 var maxWait = flag.Duration("max-wait", time.Minute, "total time budget for 429/503 retry sleeps before giving up")
 
+// logFormat selects the diagnostic log encoding on stderr.
+var logFormat = flag.String("log-format", "text", "diagnostic log encoding: text or json")
+
+// fatal logs msg and its attrs at error level and exits non-zero.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
 // waited accumulates backoff sleeps against the -max-wait budget.
 var waited time.Duration
 
 func main() {
 	flag.Parse()
+	if *logFormat == "json" {
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	} else if *logFormat != "text" {
+		fatal("unknown -log-format", "format", *logFormat)
+	}
 	base := "http://localhost:8080"
 	if flag.NArg() > 0 {
 		base = flag.Arg(0)
@@ -96,7 +113,7 @@ func get(client *http.Client, url string, out any) {
 func post(client *http.Client, url string, v, out any) string {
 	body, err := json.Marshal(v)
 	if err != nil {
-		log.Fatal(err)
+		fatal("encoding request", "err", err)
 	}
 	resp := doWithRetry(url, out, func() (*http.Response, error) {
 		return client.Post(url, "application/json", bytes.NewReader(body))
@@ -113,19 +130,19 @@ func doWithRetry(url string, out any, send func() (*http.Response, error)) *http
 	for attempt := 0; ; attempt++ {
 		resp, err := send()
 		if err != nil {
-			log.Fatalf("%s: %v (is biodegd running?)", url, err)
+			fatal("request failed (is biodegd running?)", "url", url, "err", err)
 		}
 		if retryable(resp.StatusCode) && attempt < maxRetries {
 			d := retryDelay(resp, attempt)
 			if waited+d > *maxWait {
 				resp.Body.Close()
-				log.Fatalf("%s: %d: retry budget exhausted (%v slept, -max-wait %v)",
-					url, resp.StatusCode, waited, *maxWait)
+				fatal("retry budget exhausted", "url", url, "status", resp.StatusCode,
+					"slept", waited.String(), "max_wait", maxWait.String())
 			}
 			waited += d
 			resp.Body.Close()
-			fmt.Fprintf(os.Stderr, "sweepclient: %s returned %d, retrying in %v (attempt %d/%d)\n",
-				url, resp.StatusCode, d, attempt+1, maxRetries)
+			slog.Warn("overloaded, retrying", "url", url, "status", resp.StatusCode,
+				"sleep", d.String(), "attempt", attempt+1, "max_retries", maxRetries)
 			time.Sleep(d)
 			continue
 		}
@@ -182,16 +199,16 @@ func decodeResponse(resp *http.Response, url string, out any) {
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		log.Fatalf("%s: reading response: %v", url, err)
+		fatal("reading response", "url", url, "err", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var apiErr api.Error
 		if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
-			log.Fatalf("%s: %d: %s", url, resp.StatusCode, apiErr.Error)
+			fatal("daemon error", "url", url, "status", resp.StatusCode, "message", apiErr.Error)
 		}
-		log.Fatalf("%s: %d: %s", url, resp.StatusCode, b)
+		fatal("daemon error", "url", url, "status", resp.StatusCode, "body", string(b))
 	}
 	if err := json.Unmarshal(b, out); err != nil {
-		log.Fatalf("%s: parsing response: %v", url, err)
+		fatal("parsing response", "url", url, "err", err)
 	}
 }

@@ -11,13 +11,17 @@
 //
 // Start also turns on the observability sinks requested by the flags:
 // span tracing (internal/obs) when a trace, JSONL, or manifest output
-// is named, and a net/http/pprof server when -pprof gives an address.
+// is named, a net/http/pprof server when -pprof gives an address, and
+// the process-default structured logger (-log-format text|json,
+// -log-level) whose lines carry the span_id of the enclosing span so
+// logs correlate with -trace output.
 package cli
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
@@ -49,6 +53,10 @@ type Options struct {
 
 	// Durability flag.
 	Checkpoint string // -checkpoint / BIODEG_CHECKPOINT
+
+	// Logging flags.
+	LogFormat string // -log-format / BIODEG_LOG_FORMAT (text|json)
+	LogLevel  string // -log-level  / BIODEG_LOG_LEVEL  (debug|info|warn|error)
 }
 
 // AutoRetries is the retry budget -retries=-1 resolves to when fault
@@ -111,7 +119,51 @@ func Register(fs *flag.FlagSet) *Options {
 		"annotate failed grid points and keep sweeping instead of aborting; implied by -faults (env BIODEG_PARTIAL)")
 	fs.StringVar(&o.Checkpoint, "checkpoint", os.Getenv("BIODEG_CHECKPOINT"),
 		"directory holding the crash-safe sweep journal; a rerun with the same directory resumes, skipping journaled points (env BIODEG_CHECKPOINT)")
+	fs.StringVar(&o.LogFormat, "log-format", envOr("BIODEG_LOG_FORMAT", "text"),
+		"structured log encoding: text or json (env BIODEG_LOG_FORMAT)")
+	fs.StringVar(&o.LogLevel, "log-level", envOr("BIODEG_LOG_LEVEL", "info"),
+		"minimum log level: debug, info, warn, or error (env BIODEG_LOG_LEVEL)")
 	return o
+}
+
+// envOr returns the env var if set, else def.
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// setupLogging installs the process-default slog.Logger described by
+// -log-format and -log-level: a text or JSON handler on stderr wrapped
+// by obs.NewLogHandler, so every log line emitted under a traced
+// context carries the span_id of its enclosing span.
+func (o *Options) setupLogging() error {
+	var level slog.Level
+	switch o.LogLevel {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return fmt.Errorf("cli: -log-level: unknown level %q (want debug, info, warn, or error)", o.LogLevel)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	switch o.LogFormat {
+	case "", "text":
+		inner = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		inner = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		return fmt.Errorf("cli: -log-format: unknown format %q (want text or json)", o.LogFormat)
+	}
+	slog.SetDefault(slog.New(obs.NewLogHandler(inner)))
+	return nil
 }
 
 // Run is one observed command invocation: the root span every
@@ -167,6 +219,9 @@ func (o *Options) Start(tool string) (*Run, context.Context, error) {
 	// Install the effective configuration as the process default so
 	// code paths without a context (lazy technology characterization,
 	// the package-default session) observe the flags too.
+	if err := o.setupLogging(); err != nil {
+		return nil, nil, err
+	}
 	spec, err := fault.Parse(o.Faults)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cli: -faults: %w", err)
@@ -206,6 +261,8 @@ func (o *Options) Start(tool string) (*Run, context.Context, error) {
 		}(),
 		"BIODEG_PARTIAL":    boolEnv(cfg.PartialResults),
 		"BIODEG_CHECKPOINT": cfg.Checkpoint,
+		"BIODEG_LOG_FORMAT": o.LogFormat,
+		"BIODEG_LOG_LEVEL":  o.LogLevel,
 	})
 	ctx, root := obs.Start(context.Background(), "run", obs.KV("tool", tool))
 	return &Run{Opts: o, Manifest: m, root: root, start: time.Now()}, config.WithContext(ctx, cfg), nil

@@ -50,29 +50,37 @@ func BenchIPC(bench string, cfg uarch.Config) (uarch.Stats, error) {
 // requester's span.
 func BenchIPCCtx(ctx context.Context, bench string, cfg uarch.Config) (uarch.Stats, error) {
 	return ipcMemo.Do(ipcKey{bench, cfg}, func() (uarch.Stats, error) {
-		_, sp := obs.Start(ctx, "ipc",
-			obs.KV("bench", bench),
-			obs.Int("fe", cfg.FrontWidth), obs.Int("be", cfg.BackWidth),
-			obs.Stage(metrics.StageIPC))
-		defer sp.End()
-		w := workload.ByName(bench)
-		if w == nil {
-			return uarch.Stats{}, fmt.Errorf("core: unknown benchmark %q", bench)
-		}
-		m, err := w.NewMachine()
-		if err != nil {
-			return uarch.Stats{}, err
-		}
-		src := &uarch.MachineSource{M: m, Max: w.MaxInstr}
-		st := uarch.Run(src, cfg)
-		if src.Err != nil {
-			return uarch.Stats{}, fmt.Errorf("core: %s: %w", bench, src.Err)
-		}
-		if err := w.Verify(m); err != nil {
-			return uarch.Stats{}, err
-		}
-		return st, nil
+		return BenchIPCUncachedCtx(ctx, bench, cfg)
 	})
+}
+
+// BenchIPCUncachedCtx runs the full cycle-level simulation every call,
+// bypassing the process-wide memo. The sweeps never want this; it
+// exists for benchmarking the simulator itself (benchrun -json), where
+// a memo hit would measure a map lookup instead of the model.
+func BenchIPCUncachedCtx(ctx context.Context, bench string, cfg uarch.Config) (uarch.Stats, error) {
+	_, sp := obs.Start(ctx, "ipc",
+		obs.KV("bench", bench),
+		obs.Int("fe", cfg.FrontWidth), obs.Int("be", cfg.BackWidth),
+		obs.Stage(metrics.StageIPC))
+	defer sp.End()
+	w := workload.ByName(bench)
+	if w == nil {
+		return uarch.Stats{}, fmt.Errorf("core: unknown benchmark %q", bench)
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		return uarch.Stats{}, err
+	}
+	src := &uarch.MachineSource{M: m, Max: w.MaxInstr}
+	st := uarch.Run(src, cfg)
+	if src.Err != nil {
+		return uarch.Stats{}, fmt.Errorf("core: %s: %w", bench, src.Err)
+	}
+	if err := w.Verify(m); err != nil {
+		return uarch.Stats{}, err
+	}
+	return st, nil
 }
 
 // Benchmarks returns the benchmark names in reporting order.

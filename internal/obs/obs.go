@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/runner/metrics"
+	"repro/internal/telemetry"
 )
 
 // Attr is one key=value annotation on a span. Values are strings so the
@@ -43,7 +44,8 @@ func Stage(stage string) Attr { return Attr{Key: StageKey, Value: stage} }
 // End. All methods are safe on a nil receiver so call sites never need
 // to branch on whether tracing is active.
 type Span struct {
-	st     *state // buffer captured at Start; nil when tracing was off
+	st     *state              // buffer captured at Start; nil when tracing was off
+	reg    *telemetry.Registry // session registry captured at Start; may be nil
 	id     uint64
 	parent uint64
 	gid    int64
@@ -54,6 +56,21 @@ type Span struct {
 	dur    time.Duration
 	ended  atomic.Bool
 }
+
+// ID returns the span's trace-unique id, 0 when the span was started
+// with tracing disabled (ids exist only while a buffer collects). The
+// same id appears in the Chrome-trace/JSONL exports and in the span_id
+// field structured log lines gain under NewLogHandler, so logs and
+// traces of one run correlate.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SpanID returns the id of the span carried by ctx, or 0.
+func SpanID(ctx context.Context) uint64 { return FromContext(ctx).ID() }
 
 // state is one enabled trace: a bounded lock-free span buffer. Each
 // finished span claims a slot index with one atomic add and publishes
@@ -165,6 +182,12 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 			s.stage = a.Value
 		}
 	}
+	if s.stage != "" {
+		// A session registry on ctx receives the stage observation too
+		// (alongside the process default); capture it now so End needs
+		// no context.
+		s.reg = telemetry.FromContext(ctx)
+	}
 	st := cur.Load()
 	if tr := TracerFromContext(ctx); tr != nil {
 		st = tr.st // a context-attached tracer wins over the global one
@@ -202,7 +225,7 @@ func (s *Span) End() {
 	}
 	s.dur = time.Since(s.start)
 	if s.stage != "" {
-		metrics.Observe(s.stage, s.dur)
+		metrics.ObserveIn(s.reg, s.stage, s.dur)
 	}
 	if st := s.st; st != nil {
 		if i := st.next.Add(1) - 1; i < int64(len(st.slots)) {

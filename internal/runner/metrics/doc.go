@@ -1,13 +1,24 @@
-// Package metrics is the instrumentation layer of the parallel runner:
-// lock-free per-stage counters and wall-time histograms for the flow's
-// expensive phases (cell characterization, static timing, pipelining,
-// IPC simulation, whole experiments), a settable progress hook, and a
-// plain-text report.
+// Package metrics is the stage-level instrumentation of the parallel
+// runner: per-stage event counters and wall-time histograms for the
+// flow's expensive phases (cell characterization, static timing,
+// pipelining, IPC simulation, whole experiments), a settable progress
+// hook, and the classic plain-text report.
 //
-// Recording is always cheap (atomic adds into power-of-ten latency
-// buckets) and safe from any goroutine. The commands emit Report to
-// stderr when the -metrics flag (SetEnabled) asks for it; libraries
-// record unconditionally and never print. OnProgress installs a callback fired after every
-// observation — the hook for driving progress bars or log lines from a
-// sweep without touching the sweep code.
+// Since the telemetry refactor the package is a thin, stage-labeled
+// view over two families of internal/telemetry's process-default
+// registry — biodeg_stage_events_total and
+// biodeg_stage_duration_seconds — so the same observations surface in
+// the daemon's Prometheus exposition (/metricsz) and in the text
+// report (Report, /metricsz?format=text) without double bookkeeping.
+// ObserveIn additionally dual-writes into a per-session registry when
+// the caller supplies one (biodeg.Session's WithTelemetry).
+//
+// Recording is always cheap (a sync.Map handle load plus atomic adds
+// into power-of-ten duration buckets) and safe from any goroutine. The
+// commands emit Report to stderr when the -metrics flag (SetEnabled)
+// asks for it; libraries record unconditionally and never print.
+// OnProgress installs a callback fired after every observation — the
+// hook for driving progress bars or SSE streams from a sweep without
+// touching the sweep code. The hook lives outside the registry, so
+// Reset clears the numbers but never unsubscribes it.
 package metrics

@@ -2,11 +2,14 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Stage names used by the reproduction's hot paths. Free-form strings
@@ -27,28 +30,30 @@ const (
 	StageCheckpointLoad    = "checkpoint.load"
 )
 
-// bucketCount covers 1 us .. >=1000 s in power-of-ten buckets.
+// Metric family names this package registers (on the process-default
+// telemetry registry and on any per-session registry handed to
+// ObserveIn). Exported so the exposition tests and docs name one truth.
+const (
+	// EventsMetric counts completed units per stage (Observe and Add).
+	EventsMetric = "biodeg_stage_events_total"
+	// DurationMetric is the per-stage wall-time histogram (Observe only).
+	DurationMetric = "biodeg_stage_duration_seconds"
+)
+
+// bucketCount covers 1 us .. >=1000 s in power-of-ten buckets — the
+// DurationBuckets decades plus the +Inf overflow slot.
 const bucketCount = 10
 
-// stageStats is one stage's counters. All fields are atomics so
-// recording never takes a lock.
-type stageStats struct {
-	count   atomic.Int64
-	totalNS atomic.Int64
-	maxNS   atomic.Int64
-	buckets [bucketCount]atomic.Int64
+func init() {
+	if bucketCount != len(telemetry.DurationBuckets)+1 {
+		panic("metrics: bucketCount out of sync with telemetry.DurationBuckets")
+	}
 }
 
 // bucketIndex maps a duration to its power-of-ten histogram bucket:
-// bucket i counts observations in [10^i us, 10^(i+1) us).
+// bucket i counts observations in roughly [10^i us, 10^(i+1) us).
 func bucketIndex(d time.Duration) int {
-	us := d.Microseconds()
-	i := 0
-	for us >= 10 && i < bucketCount-1 {
-		us /= 10
-		i++
-	}
-	return i
+	return sort.SearchFloat64s(telemetry.DurationBuckets, d.Seconds())
 }
 
 // bucketLabel renders the lower bound of bucket i.
@@ -71,24 +76,37 @@ func pow10(n int) int {
 	return v
 }
 
-var (
-	mu     sync.Mutex
-	stages = map[string]*stageStats{}
-
-	progress atomic.Pointer[func(stage string, count int64, d time.Duration)]
-)
-
-// stats returns (creating if needed) the named stage's counters.
-func stats(stage string) *stageStats {
-	mu.Lock()
-	s, ok := stages[stage]
-	if !ok {
-		s = &stageStats{}
-		stages[stage] = s
-	}
-	mu.Unlock()
-	return s
+// stageVecs is one registry's pair of per-stage families.
+type stageVecs struct {
+	events *telemetry.CounterVec
+	dur    *telemetry.HistogramVec
 }
+
+// vecCache maps a registry to its (lazily registered) stage families,
+// so the recording hot path never takes the registry's family-creation
+// mutex.
+var vecCache sync.Map // *telemetry.Registry -> *stageVecs
+
+func vecsFor(r *telemetry.Registry) *stageVecs {
+	if v, ok := vecCache.Load(r); ok {
+		return v.(*stageVecs)
+	}
+	v := &stageVecs{
+		events: r.Counter(EventsMetric,
+			"Completed units of instrumented work per stage.", "stage"),
+		dur: r.Histogram(DurationMetric,
+			"Wall time of instrumented work per stage.",
+			telemetry.DurationBuckets, "stage"),
+	}
+	actual, _ := vecCache.LoadOrStore(r, v)
+	return actual.(*stageVecs)
+}
+
+// progress is the installed progress hook. It lives outside the
+// registry data on purpose: Reset clears recorded series but never the
+// hook, so a subscriber installed before a Reset (the daemon's SSE
+// broker) keeps receiving events afterwards.
+var progress atomic.Pointer[func(stage string, count int64, d time.Duration)]
 
 // enabled gates the text report. Recording via Observe/Add is always
 // on (it is cheap and lock-free); this flag only says whether a
@@ -104,20 +122,27 @@ func SetEnabled(on bool) { enabled.Store(on) }
 // SetEnabled.
 func Enabled() bool { return enabled.Load() }
 
-// Observe records one completed unit of work in a stage: it bumps the
-// stage counter, accumulates wall time into the histogram, and fires
-// the progress hook (if installed) with the new count.
-func Observe(stage string, d time.Duration) {
-	s := stats(stage)
-	n := s.count.Add(1)
-	s.totalNS.Add(int64(d))
-	for {
-		old := s.maxNS.Load()
-		if int64(d) <= old || s.maxNS.CompareAndSwap(old, int64(d)) {
-			break
-		}
+// Observe records one completed unit of work in a stage on the
+// process-default registry: it bumps the stage counter, accumulates
+// wall time into the histogram, and fires the progress hook (if
+// installed) with the new count.
+func Observe(stage string, d time.Duration) { ObserveIn(nil, stage, d) }
+
+// ObserveIn is Observe recording into reg in addition to the process
+// default — the per-session path: a biodeg.Session built WithTelemetry
+// carries its registry to the span layer (internal/obs), which calls
+// ObserveIn on span end. A nil reg (or the default registry itself)
+// records once, into the default.
+func ObserveIn(reg *telemetry.Registry, stage string, d time.Duration) {
+	secs := d.Seconds()
+	def := vecsFor(telemetry.Default())
+	n := def.events.With(stage).Inc()
+	def.dur.With(stage).Observe(secs)
+	if reg != nil && reg != telemetry.Default() {
+		v := vecsFor(reg)
+		v.events.With(stage).Inc()
+		v.dur.With(stage).Observe(secs)
 	}
-	s.buckets[bucketIndex(d)].Add(1)
 	if fn := progress.Load(); fn != nil {
 		(*fn)(stage, n, d)
 	}
@@ -135,9 +160,9 @@ func Time(stage string) func() {
 // Add bumps a stage's counter by n without timing (for counted events
 // that have no meaningful duration, e.g. cache hits).
 func Add(stage string, n int64) {
-	stats(stage).count.Add(n)
+	total := vecsFor(telemetry.Default()).events.With(stage).Add(n)
 	if fn := progress.Load(); fn != nil {
-		(*fn)(stage, stats(stage).count.Load(), 0)
+		(*fn)(stage, total, 0)
 	}
 }
 
@@ -145,20 +170,18 @@ func Add(stage string, n int64) {
 // was never recorded) — a cheap point read for status endpoints that
 // don't need the full Snapshots pass.
 func Count(stage string) int64 {
-	mu.Lock()
-	s, ok := stages[stage]
-	mu.Unlock()
-	if !ok {
-		return 0
+	if c, ok := vecsFor(telemetry.Default()).events.Get(stage); ok {
+		return c.Value()
 	}
-	return s.count.Load()
+	return 0
 }
 
 // OnProgress installs fn as the progress hook, called after every
 // Observe/Add with the stage name, its new cumulative count, and the
 // observation's duration (0 for Add). Pass nil to remove the hook. The
 // callback runs on the observing goroutine and must be fast and
-// concurrency-safe.
+// concurrency-safe. The hook is independent of the recorded data:
+// Reset clears counters and histograms but leaves the hook installed.
 func OnProgress(fn func(stage string, count int64, d time.Duration)) {
 	if fn == nil {
 		progress.Store(nil)
@@ -167,11 +190,14 @@ func OnProgress(fn func(stage string, count int64, d time.Duration)) {
 	progress.Store(&fn)
 }
 
-// Reset clears all recorded stages (primarily for tests).
+// Reset clears all recorded stages on the process-default registry
+// (primarily for tests). The progress hook survives: a subscriber
+// installed before Reset keeps receiving events for work recorded
+// after it.
 func Reset() {
-	mu.Lock()
-	stages = map[string]*stageStats{}
-	mu.Unlock()
+	v := vecsFor(telemetry.Default())
+	v.events.Reset()
+	v.dur.Reset()
 }
 
 // Snapshot is one stage's totals at a point in time.
@@ -185,28 +211,25 @@ type Snapshot struct {
 
 // Snapshots returns every recorded stage's totals, sorted by stage name.
 func Snapshots() []Snapshot {
-	mu.Lock()
-	names := make([]string, 0, len(stages))
-	for name := range stages {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	out := make([]Snapshot, 0, len(names))
-	for _, name := range names {
-		s := stages[name]
-		snap := Snapshot{
-			Stage: name,
-			Count: s.count.Load(),
-			Total: time.Duration(s.totalNS.Load()),
-			Max:   time.Duration(s.maxNS.Load()),
-		}
-		for i := range snap.Buckets {
-			snap.Buckets[i] = s.buckets[i].Load()
+	v := vecsFor(telemetry.Default())
+	var out []Snapshot
+	v.events.Range(func(labels []string, c *telemetry.Counter) {
+		snap := Snapshot{Stage: labels[0], Count: c.Value()}
+		if h, ok := v.dur.Get(labels[0]); ok {
+			snap.Total = secondsToDuration(h.Sum())
+			snap.Max = secondsToDuration(h.Max())
+			copy(snap.Buckets[:], h.Buckets())
 		}
 		out = append(out, snap)
-	}
-	mu.Unlock()
-	return out
+	})
+	return out // Range iterates sorted, so out is sorted by stage
+}
+
+// secondsToDuration converts the histogram's float seconds back to a
+// Duration, rounding so short sums of exact millisecond observations
+// survive the float64 round trip.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * 1e9))
 }
 
 // Report renders the recorded stages as an aligned text table with one

@@ -73,6 +73,56 @@ func TestProgressHook(t *testing.T) {
 	}
 }
 
+// TestProgressHookSurvivesReset pins the Reset/OnProgress contract: the
+// hook lives outside the counter registry, so a Reset (e.g. between
+// daemon jobs) clears the counters but keeps the subscriber — the SSE
+// progress broker must not go deaf mid-stream. Counts restart from 1.
+func TestProgressHookSurvivesReset(t *testing.T) {
+	Reset()
+	var mu sync.Mutex
+	var events []int64
+	OnProgress(func(stage string, count int64, d time.Duration) {
+		if stage != StagePipeline {
+			return
+		}
+		mu.Lock()
+		events = append(events, count)
+		mu.Unlock()
+	})
+	defer OnProgress(nil)
+	Observe(StagePipeline, time.Millisecond)
+	Reset()
+	// Concurrent observers after the reset keep the -race detector
+	// honest about the hook pointer and the recreated series.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Observe(StagePipeline, time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 5 {
+		t.Fatalf("got %d progress events across Reset, want 5: %v", len(events), events)
+	}
+	if events[0] != 1 {
+		t.Errorf("first pre-reset count = %d, want 1", events[0])
+	}
+	post := events[1:]
+	seen := map[int64]bool{}
+	for _, c := range post {
+		seen[c] = true
+	}
+	for want := int64(1); want <= 4; want++ {
+		if !seen[want] {
+			t.Errorf("post-reset counts = %v, want a permutation of [1 2 3 4] (counts restart after Reset)", post)
+		}
+	}
+}
+
 func TestConcurrentObserve(t *testing.T) {
 	Reset()
 	var wg sync.WaitGroup

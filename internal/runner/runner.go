@@ -16,6 +16,22 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// Pool telemetry on the process-default registry: how deep the task
+// queue is, how many worker goroutines are live across all active
+// pools, how many are busy right now (utilization = busy/workers), and
+// completed tasks by outcome. All pure atomics on the task path.
+var (
+	queueDepth = telemetry.Default().Gauge("biodeg_runner_queue_depth",
+		"Submitted pool tasks not yet picked up by a worker.").With()
+	workersLive = telemetry.Default().Gauge("biodeg_runner_workers",
+		"Live worker goroutines across all active pools.").With()
+	workersBusy = telemetry.Default().Gauge("biodeg_runner_workers_busy",
+		"Workers currently executing a task.").With()
+	tasksTotal = telemetry.Default().Counter("biodeg_runner_tasks_total",
+		"Completed pool tasks by outcome.", "outcome")
 )
 
 // Workers returns the process-default worker-pool size: the installed
@@ -236,7 +252,12 @@ func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 		}
 		return fn(actx, i)
 	}
+	var ran atomic.Int64
 	run := func(i int) {
+		ran.Add(1)
+		queueDepth.Dec()
+		workersBusy.Inc()
+		defer workersBusy.Dec()
 		tctx := ctx
 		var sp *obs.Span
 		if traced {
@@ -272,9 +293,14 @@ func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 			rsp.End()
 		}
 		if err != nil {
+			tasksTotal.With("error").Inc()
 			fail(i, err)
+		} else {
+			tasksTotal.With("ok").Inc()
 		}
 	}
+	queueDepth.Add(int64(n))
+	workersLive.Add(int64(workers))
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -289,6 +315,10 @@ func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 		}()
 	}
 	wg.Wait()
+	workersLive.Add(-int64(workers))
+	// Tasks skipped by cancellation never reached run; drain their
+	// queue-depth contribution so the gauge returns to zero.
+	queueDepth.Add(ran.Load() - int64(n))
 	if partial {
 		sort.Slice(taskErrs, func(i, j int) bool { return taskErrs[i].Index < taskErrs[j].Index })
 		return taskErrs, ctx.Err()

@@ -28,6 +28,15 @@ const (
 	bkHalfOpen
 )
 
+// setState records a state transition and mirrors it into the
+// biodeg_breaker_state gauge (callers hold b.mu). The gauge is
+// process-global like the rest of the serving metrics; with several
+// Server instances in one process the last transition wins.
+func (b *breaker) setState(s int) {
+	b.state = s
+	breakerGauge.Set(int64(s))
+}
+
 func stateName(s int) string {
 	switch s {
 	case bkOpen:
@@ -85,7 +94,7 @@ func (b *breaker) Allow() error {
 			return ErrUnavailable
 		}
 		// Cooldown elapsed: this caller becomes the half-open probe.
-		b.state = bkHalfOpen
+		b.setState(bkHalfOpen)
 		b.probing = true
 		return nil
 	case bkHalfOpen:
@@ -116,7 +125,7 @@ func (b *breaker) Done(err error) {
 		if fail {
 			b.trip()
 		} else if err == nil {
-			b.state = bkClosed
+			b.setState(bkClosed)
 			b.failures = 0
 		}
 	case bkClosed:
@@ -133,10 +142,11 @@ func (b *breaker) Done(err error) {
 
 // trip opens the breaker (callers hold b.mu).
 func (b *breaker) trip() {
-	b.state = bkOpen
+	b.setState(bkOpen)
 	b.openedAt = time.Now()
 	b.failures = 0
 	b.trips.Add(1)
+	breakerTrips.Inc()
 }
 
 // RetryAfter renders the remaining cooldown as whole seconds (>= 1)

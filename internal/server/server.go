@@ -50,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
+	"repro/internal/telemetry"
 )
 
 // CacheHeader reports how a cacheable response was produced: "hit"
@@ -79,6 +80,10 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before its
 	// half-open probe. 0 means DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// AccessLog emits one structured (slog) line per served request,
+	// carrying the route, status, latency, and — when tracing is on —
+	// the request span's id. The daemon turns it on; tests leave it off.
+	AccessLog bool
 }
 
 // Server is the biodegd HTTP handler. Create with New; it is an
@@ -133,6 +138,7 @@ func New(eng Engine, opts Options) *Server {
 		started:  time.Now(),
 	}
 	metrics.OnProgress(s.progress.hook)
+	admCapacity.Set(int64(opts.MaxInflight))
 	s.routes()
 	return s
 }
@@ -170,9 +176,12 @@ func (s *Server) EnableJobs(dir string) error {
 	return nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request passes through the
+// RED middleware (per-route request counts, error counts, latency
+// histogram, in-flight gauge, request span, optional access log)
+// before the mux dispatches it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.observe(w, r)
 }
 
 // maxBody bounds request bodies; every legitimate request is tiny JSON.
@@ -201,6 +210,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
+		"build":      build(),
 		"uptime_s":   time.Since(s.started).Seconds(),
 		"inflight":   s.inflight.Load(),
 		"shed_total": s.shed.Load(),
@@ -209,9 +219,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetricsz serves the process-default telemetry registry in
+// Prometheus text exposition format; ?format=text keeps the classic
+// human-readable per-stage report.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, metrics.Report()) //nolint:errcheck
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, metrics.Report()) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.Default().WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -247,6 +265,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route str
 	key := obs.Digest(route)
 
 	if b, ok := s.cache.Get(key); ok {
+		cacheEvents.With(responseCache, "hit").Inc()
 		w.Header().Set(CacheHeader, "hit")
 		writeJSONBytes(w, http.StatusOK, b)
 		return
@@ -255,12 +274,15 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route str
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Add(1)
+		admInflight.Inc()
 		defer func() {
 			s.inflight.Add(-1)
+			admInflight.Dec()
 			<-s.sem
 		}()
 	default:
 		s.shed.Add(1)
+		admShed.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("server at capacity (%d in flight); retry later", s.opts.MaxInflight))
@@ -330,8 +352,10 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route str
 		// long-lived store (bounded, unlike the Memo's success cache).
 		s.cache.Add(key, body)
 		s.flight.Forget(key)
+		cacheEvents.With(responseCache, "miss").Inc()
 		w.Header().Set(CacheHeader, "miss")
 	} else {
+		cacheEvents.With(responseCache, "coalesced").Inc()
 		w.Header().Set(CacheHeader, "coalesced")
 	}
 	writeJSONBytes(w, http.StatusOK, body)

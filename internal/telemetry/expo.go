@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family of the registry in the
+// Prometheus text exposition format (version 0.0.4): a # HELP and
+// # TYPE line per family, then one sample line per series — counters
+// and gauges as single samples, histograms as cumulative {le} buckets
+// plus _sum and _count. Families appear sorted by name, series sorted
+// by label values, so two scrapes of identical state are byte-equal.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range f.snapshotKeys() {
+			s, ok := f.series.Load(key)
+			if !ok {
+				continue
+			}
+			values := splitKey(key, len(f.labels))
+			switch m := s.(type) {
+			case *Counter:
+				writeSample(&b, f.name, f.labels, values, "", "", formatInt(m.Value()))
+			case *Gauge:
+				writeSample(&b, f.name, f.labels, values, "", "", formatInt(m.Value()))
+			case *Histogram:
+				cum := int64(0)
+				counts := m.Buckets()
+				for i, bound := range m.Bounds() {
+					cum += counts[i]
+					writeSample(&b, f.name+"_bucket", f.labels, values,
+						"le", formatFloat(bound), formatInt(cum))
+				}
+				cum += counts[len(counts)-1]
+				writeSample(&b, f.name+"_bucket", f.labels, values,
+					"le", "+Inf", formatInt(cum))
+				writeSample(&b, f.name+"_sum", f.labels, values, "", "", formatFloat(m.Sum()))
+				writeSample(&b, f.name+"_count", f.labels, values, "", "", formatInt(cum))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample renders one exposition line. extraKey/extraValue append a
+// synthetic label (the histogram "le") after the family's own labels.
+func writeSample(b *strings.Builder, name string, labels, values []string, extraKey, extraValue, sample string) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraKey)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraValue))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(sample)
+	b.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatFloat renders a float sample/bound the way Prometheus expects
+// (shortest round-trip form; integral values keep no trailing zeros).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

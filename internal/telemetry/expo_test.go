@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Exposition-format line grammar (text format 0.0.4): comment lines and
+// sample lines with an optional label set.
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+)
+
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("exposition does not end in a newline")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !helpRe.MatchString(line) {
+				t.Errorf("bad HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE"):
+			if !typeRe.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Errorf("bad sample line: %q", line)
+			}
+		}
+	}
+}
+
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("expo_events_total", "Test events.", "stage", "outcome")
+	c.With("sta", "ok").Add(3)
+	c.With(`we"ird\stage`, "error").Inc()
+	r.Gauge("expo_depth", "Queue depth.").With().Set(-2)
+	h := r.Histogram("expo_seconds", "Durations.", DurationBuckets, "stage")
+	h.With("sta").Observe(0.5)
+	h.With("sta").Observe(42)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	validateExposition(t, out)
+
+	// Families are sorted by name; each family has exactly one TYPE line.
+	depthIdx := strings.Index(out, "# TYPE expo_depth")
+	eventsIdx := strings.Index(out, "# TYPE expo_events_total")
+	secsIdx := strings.Index(out, "# TYPE expo_seconds")
+	if !(depthIdx >= 0 && depthIdx < eventsIdx && eventsIdx < secsIdx) {
+		t.Errorf("families not sorted: depth@%d events@%d seconds@%d", depthIdx, eventsIdx, secsIdx)
+	}
+	if !strings.Contains(out, `expo_events_total{stage="sta",outcome="ok"} 3`) {
+		t.Errorf("counter sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, "expo_depth -2\n") {
+		t.Errorf("label-less gauge sample missing:\n%s", out)
+	}
+	checkHistogram(t, out, `stage="sta"`, 2)
+}
+
+// checkHistogram asserts the cumulative-bucket invariants of one
+// histogram series: non-decreasing counts, a +Inf bucket, and
+// +Inf == _count.
+func checkHistogram(t *testing.T, out, labels string, wantCount int64) {
+	t.Helper()
+	bucketRe := regexp.MustCompile(`expo_seconds_bucket\{` + regexp.QuoteMeta(labels) + `,le="([^"]*)"\} (\d+)`)
+	var last int64
+	var sawInf bool
+	matches := bucketRe.FindAllStringSubmatch(out, -1)
+	if len(matches) != len(DurationBuckets)+1 {
+		t.Fatalf("got %d buckets, want %d:\n%s", len(matches), len(DurationBuckets)+1, out)
+	}
+	for _, m := range matches {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count %q: %v", m[2], err)
+		}
+		if n < last {
+			t.Errorf("bucket %s decreased: %d -> %d", m[1], last, n)
+		}
+		last = n
+		sawInf = sawInf || m[1] == "+Inf"
+	}
+	if !sawInf {
+		t.Error("no +Inf bucket")
+	}
+	if last != wantCount {
+		t.Errorf("+Inf bucket = %d, want %d", last, wantCount)
+	}
+	if !strings.Contains(out, "expo_seconds_count{"+labels+"} "+strconv.FormatInt(wantCount, 10)) {
+		t.Errorf("_count != %d:\n%s", wantCount, out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("det_total", "d", "l")
+	for _, l := range []string{"z", "a", "m"} {
+		c.With(l).Inc()
+	}
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two scrapes of identical state differ")
+	}
+	az := strings.Index(a.String(), `l="a"`)
+	zz := strings.Index(a.String(), `l="z"`)
+	if az < 0 || zz < 0 || az > zz {
+		t.Errorf("series not sorted by label value:\n%s", a.String())
+	}
+}

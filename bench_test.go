@@ -23,6 +23,11 @@ import (
 	"repro/internal/workload"
 )
 
+// benchSession is the one Session every benchmark shares, so expensive
+// cached artifacts are paid for once across the whole bench run, same
+// as before the Session migration (the caches are process-wide).
+var benchSession = biodeg.New()
+
 func reportOpt(b *testing.B, freq []float64) {
 	opt := 0
 	for i := range freq {
@@ -94,7 +99,7 @@ func BenchmarkFig07PseudoEVDD(b *testing.B) {
 // BenchmarkFig08VMvsVSS regenerates the Figure 8(b) regression.
 func BenchmarkFig08VMvsVSS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables, err := biodeg.RunExperiment("fig8")
+		tables, err := benchSession.RunExperiment(context.Background(), "fig8")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,11 +121,11 @@ func BenchmarkFig09CellLibrary(b *testing.B) {
 // BenchmarkFig12ALUDepth regenerates the Figure 12 sweeps.
 func BenchmarkFig12ALUDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		silPts, err := biodeg.ALUDepth(biodeg.Silicon(), 30)
+		silPts, err := benchSession.ALUDepth(context.Background(), biodeg.Silicon(), 30)
 		if err != nil {
 			b.Fatal(err)
 		}
-		orgPts, err := biodeg.ALUDepth(biodeg.Organic(), 30)
+		orgPts, err := benchSession.ALUDepth(context.Background(), biodeg.Organic(), 30)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +140,7 @@ func BenchmarkFig12ALUDepth(b *testing.B) {
 func BenchmarkFig11CoreDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, tech := range []*biodeg.Technology{biodeg.Silicon(), biodeg.Organic()} {
-			pts, err := biodeg.CoreDepth(tech, 9, 15)
+			pts, err := benchSession.CoreDepth(context.Background(), tech, 9, 15)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -158,7 +163,7 @@ func BenchmarkFig11CoreDepth(b *testing.B) {
 func BenchmarkFig13WidthPerf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, tech := range []*biodeg.Technology{biodeg.Silicon(), biodeg.Organic()} {
-			pts, err := biodeg.Widths(tech)
+			pts, err := benchSession.Widths(context.Background(), tech)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -179,7 +184,7 @@ func BenchmarkFig14WidthArea(b *testing.B) {
 		var maxDiff float64
 		var mats [][][]float64
 		for _, tech := range []*biodeg.Technology{biodeg.Silicon(), biodeg.Organic()} {
-			pts, err := biodeg.Widths(tech)
+			pts, err := benchSession.Widths(context.Background(), tech)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -219,11 +224,11 @@ func BenchmarkFig15WireEffect(b *testing.B) {
 // BenchmarkAbsoluteFrequency reports the Section 5.3 absolute numbers.
 func BenchmarkAbsoluteFrequency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sil, err := biodeg.CoreDepth(biodeg.Silicon(), 9, 9)
+		sil, err := benchSession.CoreDepth(context.Background(), biodeg.Silicon(), 9, 9)
 		if err != nil {
 			b.Fatal(err)
 		}
-		org, err := biodeg.CoreDepth(biodeg.Organic(), 9, 9)
+		org, err := benchSession.CoreDepth(context.Background(), biodeg.Organic(), 9, 9)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -234,18 +239,18 @@ func BenchmarkAbsoluteFrequency(b *testing.B) {
 
 // BenchmarkParallelExperiments measures the runner-pool experiment
 // fan-out: the cheap device-level figures dispatched together through
-// biodeg.RunExperiments. Compare against running the same IDs serially
+// Session.RunExperiments. Compare against running the same IDs serially
 // to see the pool's effect on a multi-core host; the workers metric
 // records the pool size the run actually used (the configured worker
 // count, else GOMAXPROCS).
 func BenchmarkParallelExperiments(b *testing.B) {
 	ids := []string{"fig3", "fig4", "fig6", "fig7", "fig8"}
 	for i := 0; i < b.N; i++ {
-		if _, err := biodeg.RunExperiments(context.Background(), ids...); err != nil {
+		if _, err := benchSession.RunExperiments(context.Background(), ids...); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(biodeg.Parallelism()), "workers")
+	b.ReportMetric(float64(benchSession.Workers()), "workers")
 }
 
 // BenchmarkWorkloadSimulation measures raw trace-driven simulation

@@ -10,7 +10,10 @@
 //	v1 — initial surface: experiment listing/run, the three design-space
 //	     sweeps (alu-depth, core-depth, width), and IPC simulation.
 //	     Later extended (backward-compatibly) with the durable job
-//	     surface: JobRequest/JobStatus/JobList for POST /v1/jobs.
+//	     surface (JobRequest/JobStatus/JobList for POST /v1/jobs), the
+//	     shard surface (ShardRequest/ShardResult for POST /v1/shards/exec),
+//	     the versioned problem+json error envelope (Error), and
+//	     pagination on GET /v1/jobs (?limit=&after=&state=, JobList.Next).
 package api
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/biodeg"
+	"repro/internal/wire"
 )
 
 // Version identifies the wire format emitted by this package.
@@ -30,11 +34,45 @@ const (
 	SweepWidth     = "width"
 )
 
-// Error is the uniform failure body: every non-2xx JSON response
-// carries one.
-type Error struct {
-	Error string `json:"error"`
-}
+// Error is the uniform failure body: every non-2xx response from a
+// /v1/* route carries one, served as Content-Type
+// application/problem+json. Code is a stable machine-readable class
+// (see the Code* constants); Message is human-readable; RetryAfterS
+// mirrors the Retry-After header when the server set one.
+type Error = wire.Error
+
+// ProblemContentType is the Content-Type of error envelopes.
+const ProblemContentType = wire.ProblemContentType
+
+// Stable error codes carried by Error.Code.
+const (
+	CodeBadRequest       = wire.CodeBadRequest       // 400
+	CodeNotFound         = wire.CodeNotFound         // 404
+	CodeMethodNotAllowed = wire.CodeMethodNotAllowed // 405
+	CodeConfigMismatch   = wire.CodeConfigMismatch   // 409
+	CodePayloadTooLarge  = wire.CodePayloadTooLarge  // 413
+	CodeOverloaded       = wire.CodeOverloaded       // 429
+	CodeInternal         = wire.CodeInternal         // 500
+	CodeUnavailable      = wire.CodeUnavailable      // 503
+	CodeTimeout          = wire.CodeTimeout          // 504
+)
+
+// ParseError decodes an error-envelope body. ok is false when the body
+// is not an envelope (a proxy's HTML error page, a pre-envelope
+// server); callers then fall back to the raw body.
+func ParseError(body []byte) (*Error, bool) { return wire.Parse(body) }
+
+// Shard wire types of POST /v1/shards/exec: a ShardRequest leases a
+// set of sweep-grid points to a worker, a ShardResult carries them
+// back, one ShardPoint each. The coordinator merges points by index
+// into tables byte-identical to a single-node sweep; a worker whose
+// result-shaping config differs from the lease's digest answers 409
+// with code config_mismatch.
+type (
+	ShardRequest = biodeg.ShardRequest
+	ShardResult  = biodeg.ShardResult
+	ShardPoint   = biodeg.ShardPoint
+)
 
 // SweepRequest parameterizes one design-space sweep. Tech selects the
 // characterized process; the depth bounds apply to the kind that reads
@@ -356,8 +394,14 @@ type JobStatus struct {
 	Result     json.RawMessage `json:"result,omitempty"`
 }
 
-// JobList is the response of GET /v1/jobs (no results inline).
+// JobList is the response of GET /v1/jobs (no results inline). The
+// listing is ordered by job ID (ascending, a stable content-addressed
+// ordering) and paginates: ?limit= caps the page size, ?after= resumes
+// past the given ID, ?state= filters by job state. Next, when set, is
+// the cursor for the following page (pass it as ?after=); absent on
+// the last page.
 type JobList struct {
 	Version string      `json:"version"`
 	Jobs    []JobStatus `json:"jobs"`
+	Next    string      `json:"next,omitempty"`
 }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/liberty"
 	"repro/internal/obs"
-	"repro/internal/runner/metrics"
 	"repro/internal/spice"
 	"repro/internal/uarch"
 	"repro/internal/workload"
@@ -214,4 +213,8 @@ func MetricsReport() string { return defaultSession.MetricsReport() }
 // stage's cumulative count, and the unit's duration. Pass nil to remove
 // the hook. The callback runs on worker goroutines: keep it fast and
 // concurrency-safe.
-func OnProgress(fn func(stage string, count int64, d time.Duration)) { metrics.OnProgress(fn) }
+//
+// Deprecated: Use Session.OnProgress.
+func OnProgress(fn func(stage string, count int64, d time.Duration)) {
+	defaultSession.OnProgress(fn)
+}

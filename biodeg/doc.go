@@ -5,12 +5,13 @@
 //
 // The typical flow mirrors the paper's (Figure 10):
 //
+//	s := biodeg.New()                    // a Session owns the worker pool
 //	org := biodeg.Organic()              // characterized technology
 //	inv := biodeg.InverterDC(biodeg.PseudoE, 5, -15)  // cell-level DC analysis
-//	alu := biodeg.ALUDepth(org, 30)      // Fig. 12 sweep
-//	core := biodeg.CoreDepth(org, 9, 15) // Fig. 11 sweep
-//	width := biodeg.Widths(org)          // Figs. 13-14 sweep
-//	tables := biodeg.RunExperiment("fig12")  // any paper artifact
+//	alu := s.ALUDepth(ctx, org, 30)      // Fig. 12 sweep
+//	core := s.CoreDepth(ctx, org, 9, 15) // Fig. 11 sweep
+//	width := s.Widths(ctx, org)          // Figs. 13-14 sweep
+//	tables := s.RunExperiment(ctx, "fig12")  // any paper artifact
 //
 // Concurrency and caching contract: every sweep and experiment is safe
 // for concurrent use. Heavy artifacts (cell characterization, stage

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/uarch"
 )
@@ -56,6 +57,17 @@ type Session struct {
 	cpOnce     sync.Once
 	cpJournal  *checkpoint.Journal
 	cpErr      error
+
+	// Sharding (see WithPeers, WithCoordinator, WithShardBatch,
+	// WithLeaseTimeout, WithHedgeAfter). The coordinator builds lazily on
+	// the first sharded sweep.
+	peers        []string
+	coordinator  *bool
+	shardBatch   *int
+	leaseTimeout *time.Duration
+	hedgeAfter   *time.Duration
+	coordOnce    sync.Once
+	coord        *shard.Coordinator
 }
 
 // Option configures a Session at New time.
@@ -174,6 +186,49 @@ func WithCheckpoint(dir string) Option {
 	return func(s *Session) { s.checkpoint = &dir }
 }
 
+// WithPeers lists worker biodegd base URLs ("http://host:8080") the
+// session's shard coordinator may lease sweep points to. Peers only
+// matter under WithCoordinator(true); the coordinator always keeps an
+// in-process loopback worker besides them, so a sweep completes
+// (slowly) even with every peer down. Workers must run under the same
+// result-shaping knobs (fault spec, partial mode) — a mismatched
+// worker rejects its leases with a config-digest error.
+func WithPeers(urls ...string) Option {
+	return func(s *Session) { s.peers = append([]string(nil), urls...) }
+}
+
+// WithCoordinator routes the session's design-space sweeps through the
+// shard coordinator: the grid is partitioned into point-leases
+// dispatched across the loopback worker and the WithPeers workers,
+// with lease-timeout re-dispatch, hedged retries, and per-peer circuit
+// breakers. Merged tables are byte-identical to a local run.
+func WithCoordinator(on bool) Option {
+	return func(s *Session) { s.coordinator = &on }
+}
+
+// WithShardBatch sets the coordinator's points-per-lease batch size.
+// n <= 0 means the shard package default. Smaller batches spread load
+// and shrink the re-dispatch unit; larger ones amortize per-lease HTTP
+// and journal overhead.
+func WithShardBatch(n int) Option {
+	return func(s *Session) { s.shardBatch = &n }
+}
+
+// WithLeaseTimeout bounds one dispatch of a shard lease; an expired
+// lease is re-dispatched to another peer. d <= 0 means the shard
+// package default.
+func WithLeaseTimeout(d time.Duration) Option {
+	return func(s *Session) { s.leaseTimeout = &d }
+}
+
+// WithHedgeAfter sets the coordinator's straggler window: a lease
+// unanswered for d gets a duplicate dispatch on a second peer, first
+// success wins. d == 0 means the shard package default; negative
+// disables hedging.
+func WithHedgeAfter(d time.Duration) Option {
+	return func(s *Session) { s.hedgeAfter = &d }
+}
+
 // New builds a Session from the given options.
 func New(opts ...Option) *Session {
 	s := &Session{}
@@ -215,6 +270,21 @@ func (s *Session) config() config.Config {
 	if s.checkpoint != nil {
 		c.Checkpoint = *s.checkpoint
 	}
+	if s.peers != nil {
+		c.Peers = s.peers
+	}
+	if s.coordinator != nil {
+		c.Coordinator = *s.coordinator
+	}
+	if s.shardBatch != nil {
+		c.ShardBatch = *s.shardBatch
+	}
+	if s.leaseTimeout != nil {
+		c.LeaseTimeout = *s.leaseTimeout
+	}
+	if s.hedgeAfter != nil {
+		c.HedgeAfter = *s.hedgeAfter
+	}
 	return c
 }
 
@@ -229,13 +299,13 @@ func (s *Session) journal(ctx context.Context) (*checkpoint.Journal, error) {
 		return nil, nil
 	}
 	s.cpOnce.Do(func() {
+		// The digest is shard.Digest — the same binding shard leases carry
+		// — so "safe to resume this journal" and "safe to merge that
+		// worker's points" stay one predicate.
 		meta := checkpoint.Meta{
-			Tool:  "biodeg",
-			Label: "session",
-			ConfigDigest: checkpoint.ConfigDigest(map[string]string{
-				"faults":  cfg.Faults,
-				"partial": fmt.Sprintf("%t", cfg.PartialResults),
-			}),
+			Tool:         "biodeg",
+			Label:        "session",
+			ConfigDigest: shard.Digest(cfg),
 		}
 		s.cpJournal, _, s.cpErr = checkpoint.Open(ctx, filepath.Join(cfg.Checkpoint, "journal.bdj"), meta)
 	})
@@ -328,6 +398,9 @@ func (s *Session) ALUDepth(ctx context.Context, t *Technology, maxStages int) ([
 	if err != nil {
 		return nil, err
 	}
+	if config.Get(ctx).Coordinator {
+		return core.ALUDepthSharded(ctx, t, maxStages, s.sharder().Evaluate)
+	}
 	return core.ALUDepthSweepCtx(ctx, t, maxStages, true)
 }
 
@@ -339,6 +412,9 @@ func (s *Session) CoreDepth(ctx context.Context, t *Technology, minDepth, maxDep
 	if err != nil {
 		return nil, err
 	}
+	if config.Get(ctx).Coordinator {
+		return core.CoreDepthSharded(ctx, t, minDepth, maxDepth, s.sharder().Evaluate)
+	}
 	return core.CoreDepthSweepCtx(ctx, t, minDepth, maxDepth, true)
 }
 
@@ -349,7 +425,53 @@ func (s *Session) Widths(ctx context.Context, t *Technology) ([]WidthPoint, erro
 	if err != nil {
 		return nil, err
 	}
+	if config.Get(ctx).Coordinator {
+		return core.WidthSharded(ctx, t, s.sharder().Evaluate)
+	}
 	return core.WidthSweepCtx(ctx, t)
+}
+
+// sharder lazily builds the session's shard coordinator: the loopback
+// worker first, then one HTTP peer per WithPeers URL, with the
+// session's batch/lease/hedge knobs frozen at first use (matching the
+// Session's immutable-after-New contract).
+func (s *Session) sharder() *shard.Coordinator {
+	s.coordOnce.Do(func() {
+		cfg := s.config()
+		peers := []shard.Peer{shard.Local{}}
+		for _, u := range cfg.Peers {
+			peers = append(peers, shard.NewHTTPPeer(u, nil))
+		}
+		s.coord = shard.New(shard.Options{
+			Batch:        cfg.ShardBatch,
+			LeaseTimeout: cfg.LeaseTimeout,
+			HedgeAfter:   cfg.HedgeAfter,
+		}, peers...)
+	})
+	return s.coord
+}
+
+// ShardExec evaluates one shard lease in this process — the worker
+// half of the coordinator/worker layer, served by biodegd at
+// POST /v1/shards/exec. The leased points run on the session's worker
+// pool under its full posture (faults, retries, checkpoint journal)
+// with the same per-point keys a local sweep uses.
+func (s *Session) ShardExec(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	ctx, err := s.bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return shard.Exec(ctx, req)
+}
+
+// ShardStatus reports the session coordinator's configuration, lease
+// counters, and per-peer breaker state (GET /v1/shardz). A session not
+// configured WithCoordinator(true) reports Enabled=false.
+func (s *Session) ShardStatus() ShardStatus {
+	if !s.config().Coordinator {
+		return ShardStatus{}
+	}
+	return s.sharder().Status()
 }
 
 // SimulateIPC runs one benchmark through the cycle-level core model,
@@ -424,4 +546,20 @@ type (
 	WidthPoint = core.WidthPoint
 	// Stats is the cycle-level simulation statistics bundle.
 	Stats = uarch.Stats
+
+	// ShardRequest is one point-lease of a sweep grid (the body of
+	// POST /v1/shards/exec); ShardResult is its evaluated points, and
+	// ShardPoint one of them. ShardStatus is the coordinator's
+	// introspection document (GET /v1/shardz).
+	ShardRequest = shard.Request
+	ShardResult  = shard.Result
+	ShardPoint   = shard.PointResult
+	ShardStatus  = shard.Status
+)
+
+// Shard error sentinels, re-exported for transports: a bad lease maps
+// to HTTP 400, a config-digest mismatch to 409.
+var (
+	ErrShardBadRequest     = shard.ErrBadRequest
+	ErrShardConfigMismatch = shard.ErrConfigMismatch
 )

@@ -7,7 +7,7 @@
 //	biodegd [-addr :8080] [-max-inflight N] [-cache N]
 //	        [-request-timeout 5m] [-drain-timeout 30s]
 //	        [-breaker-threshold N] [-breaker-cooldown 5s]
-//	        [-jobs DIR] [common flags]
+//	        [-jobs DIR] [-coordinator] [common flags]
 //
 // Endpoints:
 //
@@ -20,10 +20,19 @@
 //	POST /v1/sweeps/{kind}           alu-depth | core-depth | width
 //	POST /v1/simulate                one benchmark through the core model
 //	POST /v1/jobs                    submit a durable job (with -jobs)
-//	GET  /v1/jobs                    list durable jobs
+//	GET  /v1/jobs                    list durable jobs (?limit=&after=&state=)
 //	GET  /v1/jobs/{id}               job progress and result
 //	GET  /v1/progress                Server-Sent Events progress stream
+//	POST /v1/shards/exec             evaluate one shard lease (worker side)
+//	GET  /v1/shardz                  coordinator lease/hedge/peer status
 //	GET  /debug/pprof/               runtime profiles
+//
+// Every non-2xx response from a /v1/* route is the versioned
+// problem+json error envelope {code, message, retry_after_s, detail}
+// with Content-Type application/problem+json; see biodeg/api.Error.
+// GET /v1/jobs pages in ascending job-ID order: ?limit= caps the page
+// (default 100, max 1000), ?after= resumes from the "next" cursor of
+// the previous page, ?state= filters by pending|running|done|failed.
 //
 // Expensive responses carry X-Biodeg-Cache: hit | miss | coalesced.
 // A request shed by the admission semaphore gets 429 + Retry-After; a
@@ -31,6 +40,16 @@
 // failures) gets 503 + Retry-After. SIGINT/SIGTERM drains in-flight
 // requests (bounded by -drain-timeout) before exit, then writes any
 // requested trace/manifest sinks.
+//
+// With -coordinator the daemon shards its sweeps: the grid is cut into
+// batched point leases dispatched to the worker daemons named by
+// -peers (each serving POST /v1/shards/exec) plus an in-process
+// loopback worker, with lease re-dispatch on timeout, hedged retries
+// after -hedge-after, and a per-peer circuit breaker. Leases are bound
+// to the coordinator's config digest — a worker running under a
+// different fault/partial configuration rejects them with 409
+// config_mismatch. With -checkpoint the coordinator journals completed
+// leases, so a killed coordinator resumes without re-dispatching them.
 //
 // With -jobs DIR the daemon keeps a durable job store: POST /v1/jobs
 // returns an ID immediately, the computation journals every completed
@@ -77,6 +96,7 @@ func main() {
 	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive engine failures opening the circuit breaker, 0 = default, -1 = disabled")
 	brkCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker rest before the half-open probe, 0 = default")
 	jobDir := flag.String("jobs", "", "directory backing the durable job store; empty disables /v1/jobs")
+	coordinator := flag.Bool("coordinator", false, "shard sweeps across the -peers workers (plus an in-process loopback worker)")
 	flag.Parse()
 
 	run, runCtx, err := opts.Start("biodegd")
@@ -86,12 +106,22 @@ func main() {
 	}
 
 	// One shared session serves every request: the flags fix its worker
-	// pool and metrics posture for the daemon's lifetime.
-	session := biodeg.New(
+	// pool, metrics posture, and sharding role for the daemon's lifetime.
+	sessOpts := []biodeg.Option{
 		biodeg.WithWorkers(opts.Workers),
 		biodeg.WithMetrics(opts.Metrics),
 		biodeg.WithLibCache(opts.LibCache),
-	)
+	}
+	if *coordinator {
+		sessOpts = append(sessOpts,
+			biodeg.WithCoordinator(true),
+			biodeg.WithPeers(opts.Config().Peers...),
+			biodeg.WithShardBatch(opts.ShardBatch),
+			biodeg.WithLeaseTimeout(opts.LeaseTimeout),
+			biodeg.WithHedgeAfter(opts.HedgeAfter),
+		)
+	}
+	session := biodeg.New(sessOpts...)
 	srv := server.New(server.NewSessionEngine(session), server.Options{
 		MaxInflight:      *maxInflight,
 		CacheSize:        *cacheSize,

@@ -1,0 +1,131 @@
+// Deprecation guard: the top-level biodeg functions kept for
+// compatibility (ALUDepth, Widths, RunExperiment, ...) must not be
+// called from this repository's own commands, examples, internal
+// packages, or root tests — everything here is migrated to the
+// context-first Session API, and this test keeps it that way. The
+// wrappers themselves (in biodeg/) are the one place the deprecated
+// names may appear.
+package repro_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deprecatedBiodegFuncs parses the biodeg package source and returns
+// the names of its top-level functions whose doc comment carries a
+// "Deprecated:" marker, per the godoc convention.
+func deprecatedBiodegFuncs(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir("biodeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deprecated := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join("biodeg", e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.Contains(c.Text, "Deprecated:") {
+					deprecated[fd.Name.Name] = true
+					break
+				}
+			}
+		}
+	}
+	if len(deprecated) == 0 {
+		t.Fatal("found no Deprecated: functions in biodeg — has the marker convention changed?")
+	}
+	return deprecated
+}
+
+// biodegImportName returns the local name under which f imports
+// repro/biodeg, and whether it imports it at all.
+func biodegImportName(f *ast.File) (string, bool) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "repro/biodeg" {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		return "biodeg", true
+	}
+	return "", false
+}
+
+// TestNoInternalCallersOfDeprecatedAPI walks cmd/, examples/,
+// internal/, and the repository root, and fails on any reference to a
+// deprecated top-level biodeg function.
+func TestNoInternalCallersOfDeprecatedAPI(t *testing.T) {
+	deprecated := deprecatedBiodegFuncs(t)
+
+	var files []string
+	for _, root := range []string{"cmd", "examples", "internal"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rootEntries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rootEntries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgName, ok := biodegImportName(f)
+		if !ok {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != pkgName || !deprecated[sel.Sel.Name] {
+				return true
+			}
+			t.Errorf("%s: references deprecated biodeg.%s — use the Session method instead",
+				fset.Position(sel.Pos()), sel.Sel.Name)
+			return true
+		})
+	}
+}

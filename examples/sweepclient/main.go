@@ -202,9 +202,11 @@ func decodeResponse(resp *http.Response, url string, out any) {
 		fatal("reading response", "url", url, "err", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var apiErr api.Error
-		if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
-			fatal("daemon error", "url", url, "status", resp.StatusCode, "message", apiErr.Error)
+		// The daemon's non-2xx responses carry the versioned problem+json
+		// envelope: a stable code, the message, and a retry hint.
+		if e, ok := api.ParseError(b); ok {
+			fatal("daemon error", "url", url, "status", resp.StatusCode,
+				"code", e.Code, "message", e.Message)
 		}
 		fatal("daemon error", "url", url, "status", resp.StatusCode, "body", string(b))
 	}

@@ -2,6 +2,7 @@ package config
 
 import (
 	"context"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -27,10 +28,10 @@ func TestContextCarriesConfig(t *testing.T) {
 	want := Config{Workers: 2, Metrics: true, LibCache: "/tmp/x"}
 	ctx = WithContext(ctx, want)
 	got, ok := FromContext(ctx)
-	if !ok || got != want {
+	if !ok || !reflect.DeepEqual(got, want) {
 		t.Errorf("FromContext = %+v, %v; want %+v, true", got, ok, want)
 	}
-	if Get(ctx) != want {
+	if !reflect.DeepEqual(Get(ctx), want) {
 		t.Errorf("Get = %+v, want %+v", Get(ctx), want)
 	}
 }
@@ -40,17 +41,17 @@ func TestDefaultFallback(t *testing.T) {
 	defer SetDefault(old)
 	want := Config{Workers: 7, LibCache: "/tmp/cache"}
 	SetDefault(want)
-	if Default() != want {
+	if !reflect.DeepEqual(Default(), want) {
 		t.Errorf("Default = %+v, want %+v", Default(), want)
 	}
 	// A context without a Config falls back to the default...
-	if Get(context.Background()) != want {
+	if !reflect.DeepEqual(Get(context.Background()), want) {
 		t.Errorf("Get(bare) = %+v, want default %+v", Get(context.Background()), want)
 	}
 	// ...and a context-carried Config wins over the default.
 	ctxCfg := Config{Workers: 1}
 	ctx := WithContext(context.Background(), ctxCfg)
-	if Get(ctx) != ctxCfg {
+	if !reflect.DeepEqual(Get(ctx), ctxCfg) {
 		t.Errorf("Get(ctx) = %+v, want ctx config %+v", Get(ctx), ctxCfg)
 	}
 }

@@ -73,31 +73,7 @@ func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedb
 	ctx, sp := obs.Start(ctx, "sweep:aludepth",
 		obs.KV("tech", t.Name), obs.Bool("wire", wire), obs.Int("max_stages", maxStages))
 	defer sp.End()
-	res, err := aluResult(ctx, t, wire)
-	if err != nil {
-		return nil, err
-	}
-	cfg := pipeline.Config{
-		RankBits:  aluRankBits,
-		Wire:      t.Wire,
-		UseWire:   wire,
-		FeedbackK: feedbackK,
-	}
-	dff := t.DFF()
-	point := func(ctx context.Context, i int) (pipeline.Point, error) {
-		ctx, sp := obs.Start(ctx, "alu-point", obs.Int("stages", i+1))
-		defer sp.End()
-		if err := fault.Inject(ctx, fmt.Sprintf("alu-point:%s:%s:n%d", t.Name, wireTag(wire), i+1)); err != nil {
-			return pipeline.Point{}, err
-		}
-		return pipeline.PointAt(ctx, res, dff, cfg, i+1), nil
-	}
-	// Each depth is one checkpoint record: a resumed sweep replays
-	// journaled depths bit-identically and computes only the rest.
-	key := func(i int) string {
-		return checkpoint.PointID("alu", t.Name, wireTag(wire),
-			"k"+strconv.FormatFloat(feedbackK, 'g', -1, 64), "n"+strconv.Itoa(i+1))
-	}
+	key, point := aluParts(t, wire, feedbackK)
 	if !config.Get(ctx).PartialResults {
 		return runner.MapKeyed(ctx, maxStages, key, point)
 	}
@@ -109,6 +85,38 @@ func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedb
 		pts[te.Index] = pipeline.Point{Stages: te.Index + 1, Err: runner.ErrLabel(te.Err)}
 	}
 	return pts, nil
+}
+
+// aluParts returns the Figure 12 lattice parts shared by the local
+// sweep and the shard grid: the per-point checkpoint keys and the typed
+// evaluator (each depth is one checkpoint record, so a resumed or
+// remotely-evaluated sweep replays journaled depths bit-identically).
+// The shared ALU analysis is resolved lazily inside the evaluator, so
+// building the parts costs nothing.
+func aluParts(t *Tech, wire bool, feedbackK float64) (runner.KeyFunc, func(context.Context, int) (pipeline.Point, error)) {
+	cfg := pipeline.Config{
+		RankBits:  aluRankBits,
+		Wire:      t.Wire,
+		UseWire:   wire,
+		FeedbackK: feedbackK,
+	}
+	point := func(ctx context.Context, i int) (pipeline.Point, error) {
+		res, err := aluResult(ctx, t, wire)
+		if err != nil {
+			return pipeline.Point{}, err
+		}
+		ctx, sp := obs.Start(ctx, "alu-point", obs.Int("stages", i+1))
+		defer sp.End()
+		if err := fault.Inject(ctx, fmt.Sprintf("alu-point:%s:%s:n%d", t.Name, wireTag(wire), i+1)); err != nil {
+			return pipeline.Point{}, err
+		}
+		return pipeline.PointAt(ctx, res, t.DFF(), cfg, i+1), nil
+	}
+	key := func(i int) string {
+		return checkpoint.PointID("alu", t.Name, wireTag(wire),
+			"k"+strconv.FormatFloat(feedbackK, 'g', -1, 64), "n"+strconv.Itoa(i+1))
+	}
+	return key, point
 }
 
 // wireTag names the wire mode inside fault-site identities.

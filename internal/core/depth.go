@@ -53,6 +53,60 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 		obs.KV("tech", t.Name), obs.Bool("wire", wire),
 		obs.Int("min_depth", minDepth), obs.Int("max_depth", maxDepth))
 	defer sweepSpan.End()
+	pts, err := depthSkeleton(ctx, t, minDepth, maxDepth, wire)
+	if err != nil {
+		return nil, err
+	}
+	// Simulate every (depth, benchmark) pair concurrently, then fill the
+	// per-point maps in order. Each pair is one grid-point span and a
+	// fault-injection site ("depth-point:tech:wire:dN:bench").
+	benches := Benchmarks()
+	point := func(ctx context.Context, i int) (uarch.Stats, error) {
+		return depthPairEval(ctx, t, wire, pts[i/len(benches)], benches[i%len(benches)])
+	}
+	// One checkpoint record per (depth, benchmark) pair; the cheap
+	// serial timing walk above recomputes deterministically on resume.
+	key := func(i int) string {
+		return depthPairKey(t, wire, pts[i/len(benches)].Depth, benches[i%len(benches)])
+	}
+	var stats []uarch.Stats
+	if config.Get(ctx).PartialResults {
+		var errs []*runner.TaskError
+		stats, errs, err = runner.MapPartialKeyed(ctx, len(pts)*len(benches), key, point)
+		if err != nil {
+			return nil, err
+		}
+		for _, te := range errs {
+			pt, b := &pts[te.Index/len(benches)], benches[te.Index%len(benches)]
+			if pt.Errors == nil {
+				pt.Errors = map[string]string{}
+			}
+			pt.Errors[b] = runner.ErrLabel(te.Err)
+		}
+	} else {
+		stats, err = runner.MapKeyed(ctx, len(pts)*len(benches), key, point)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, st := range stats {
+		pt, b := &pts[i/len(benches)], benches[i%len(benches)]
+		if pt.Errors[b] != "" {
+			continue
+		}
+		pt.IPC[b] = st.IPC
+		pt.Perf[b] = st.IPC * pt.Freq
+	}
+	return pts, nil
+}
+
+// depthSkeleton runs the paper's serial cut-placement walk: starting
+// from the 9-stage baseline (front-end width 1, three execution pipes),
+// repeatedly cut the critical stage up to maxDepth, recording timing,
+// area, and cut placement for every depth >= minDepth. The walk is
+// cheap (no IPC simulation) and deterministic; both the local sweep and
+// the sharded assembly start from it. IPC/Perf maps come back empty.
+func depthSkeleton(ctx context.Context, t *Tech, minDepth, maxDepth int, wire bool) ([]DepthPoint, error) {
 	const fe, be = 1, 3
 	blocks, err := coreBlocks(ctx, t, fe, be, wire)
 	if err != nil {
@@ -85,57 +139,29 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 			Perf:     map[string]float64{},
 		})
 	}
-	// Simulate every (depth, benchmark) pair concurrently, then fill the
-	// per-point maps in order. Each pair is one grid-point span and a
-	// fault-injection site ("depth-point:tech:wire:dN:bench").
-	benches := Benchmarks()
-	point := func(ctx context.Context, i int) (uarch.Stats, error) {
-		pt, bench := pts[i/len(benches)], benches[i%len(benches)]
-		ctx, sp := obs.Start(ctx, "depth-point",
-			obs.Int("depth", pt.Depth), obs.KV("bench", bench))
-		defer sp.End()
-		site := fmt.Sprintf("depth-point:%s:%s:d%d:%s", t.Name, wireTag(wire), pt.Depth, bench)
-		if err := fault.Inject(ctx, site); err != nil {
-			return uarch.Stats{}, err
-		}
-		return BenchIPCCtx(ctx, bench, uarchConfig(fe, be, pt.Cuts))
-	}
-	// One checkpoint record per (depth, benchmark) pair; the cheap
-	// serial timing walk above recomputes deterministically on resume.
-	key := func(i int) string {
-		pt, bench := pts[i/len(benches)], benches[i%len(benches)]
-		return checkpoint.PointID("depth", t.Name, wireTag(wire),
-			"d"+strconv.Itoa(pt.Depth), bench)
-	}
-	var stats []uarch.Stats
-	if config.Get(ctx).PartialResults {
-		var errs []*runner.TaskError
-		stats, errs, err = runner.MapPartialKeyed(ctx, len(pts)*len(benches), key, point)
-		if err != nil {
-			return nil, err
-		}
-		for _, te := range errs {
-			pt, b := &pts[te.Index/len(benches)], benches[te.Index%len(benches)]
-			if pt.Errors == nil {
-				pt.Errors = map[string]string{}
-			}
-			pt.Errors[b] = runner.ErrLabel(te.Err)
-		}
-	} else {
-		stats, err = runner.MapKeyed(ctx, len(pts)*len(benches), key, point)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for i, st := range stats {
-		pt, b := &pts[i/len(benches)], benches[i%len(benches)]
-		if pt.Errors[b] != "" {
-			continue
-		}
-		pt.IPC[b] = st.IPC
-		pt.Perf[b] = st.IPC * pt.Freq
-	}
 	return pts, nil
+}
+
+// depthPairEval simulates one (depth, benchmark) pair of the Figure 11
+// grid — the expensive unit both the local sweep and the shard worker
+// evaluate.
+func depthPairEval(ctx context.Context, t *Tech, wire bool, pt DepthPoint, bench string) (uarch.Stats, error) {
+	const fe, be = 1, 3
+	ctx, sp := obs.Start(ctx, "depth-point",
+		obs.Int("depth", pt.Depth), obs.KV("bench", bench))
+	defer sp.End()
+	site := fmt.Sprintf("depth-point:%s:%s:d%d:%s", t.Name, wireTag(wire), pt.Depth, bench)
+	if err := fault.Inject(ctx, site); err != nil {
+		return uarch.Stats{}, err
+	}
+	return BenchIPCCtx(ctx, bench, uarchConfig(fe, be, pt.Cuts))
+}
+
+// depthPairKey names the (depth, benchmark) checkpoint record; local
+// and sharded sweeps share it, so journals replay across both styles.
+func depthPairKey(t *Tech, wire bool, depth int, bench string) string {
+	return checkpoint.PointID("depth", t.Name, wireTag(wire),
+		"d"+strconv.Itoa(depth), bench)
 }
 
 // NormalizeDepth scales a sweep's Freq/Area/Perf to its first point

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/runner"
+	"repro/internal/uarch"
+)
+
+// Grid kinds, matching both the /v1/sweeps/{kind} URL segment and the
+// shard wire protocol (biodeg/api re-exports the same literals).
+const (
+	GridALUDepth  = "alu-depth"
+	GridCoreDepth = "core-depth"
+	GridWidth     = "width"
+)
+
+// TechByName resolves a technology by its wire name ("" means organic,
+// matching the sweep-request default).
+func TechByName(name string) (*Tech, error) {
+	switch name {
+	case "organic", "":
+		return OrganicTech(), nil
+	case "silicon":
+		return SiliconTech(), nil
+	}
+	return nil, fmt.Errorf("unknown technology %q (want organic or silicon)", name)
+}
+
+// Grid is one design-space sweep viewed as a flat point lattice: N
+// points, each with a stable checkpoint key (Key) and an evaluator
+// (Eval) returning the point's JSON-clean value. The enumeration order
+// and keys are the single source of truth shared by the local sweeps,
+// the shard worker (which evaluates index subsets), and the coordinator
+// (which merges them back) — that sharing is what makes a sharded sweep
+// byte-identical to a local one.
+type Grid struct {
+	Kind string
+	// Tech is the technology's wire name.
+	Tech string
+	// Bounds, normalized; only the ones the kind reads are meaningful.
+	MaxStages          int
+	MinDepth, MaxDepth int
+	// N is the point count; valid indices are 0..N-1.
+	N int
+	// Key names point i for checkpointing — identical to the key the
+	// local sweep would use, so worker-side journals replay across the
+	// two execution styles.
+	Key func(i int) string
+	// Eval computes point i. The concrete value type depends on Kind
+	// (pipeline.Point, uarch.Stats, or WidthPoint); it marshals to the
+	// same JSON either way.
+	Eval func(ctx context.Context, i int) (any, error)
+}
+
+// SweepGrid builds the point lattice for one sweep kind over t.
+// Bounds of kinds that do not read them are ignored. Building a grid is
+// cheap — expensive prep (netlist analysis, the serial cut-placement
+// walk) is deferred into the first Eval call, so a coordinator that
+// only needs keys never pays it.
+func SweepGrid(ctx context.Context, kind string, t *Tech, maxStages, minDepth, maxDepth int) (*Grid, error) {
+	switch kind {
+	case GridALUDepth:
+		if maxStages <= 0 {
+			return nil, fmt.Errorf("alu-depth grid: max_stages %d out of range", maxStages)
+		}
+		key, point := aluParts(t, true, 0)
+		return &Grid{
+			Kind: kind, Tech: t.Name, MaxStages: maxStages, N: maxStages,
+			Key:  key,
+			Eval: func(ctx context.Context, i int) (any, error) { return point(ctx, i) },
+		}, nil
+	case GridCoreDepth:
+		if maxDepth < minDepth || minDepth <= 0 {
+			return nil, fmt.Errorf("core-depth grid: depth bounds [%d, %d] out of range", minDepth, maxDepth)
+		}
+		benches := Benchmarks()
+		first := depthFirst(minDepth)
+		n := (maxDepth - first + 1) * len(benches)
+		if n < 0 {
+			n = 0
+		}
+		// The expensive serial cut-placement walk runs once, on first
+		// evaluation; keys need only arithmetic.
+		var (
+			once sync.Once
+			pts  []DepthPoint
+			err  error
+		)
+		skeleton := func(ctx context.Context) ([]DepthPoint, error) {
+			once.Do(func() { pts, err = depthSkeleton(ctx, t, minDepth, maxDepth, true) })
+			return pts, err
+		}
+		return &Grid{
+			Kind: kind, Tech: t.Name, MinDepth: minDepth, MaxDepth: maxDepth, N: n,
+			Key: func(i int) string {
+				return depthPairKey(t, true, first+i/len(benches), benches[i%len(benches)])
+			},
+			Eval: func(ctx context.Context, i int) (any, error) {
+				pts, err := skeleton(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return depthPairEval(ctx, t, true, pts[i/len(benches)], benches[i%len(benches)])
+			},
+		}, nil
+	case GridWidth:
+		key, point := widthParts(t)
+		return &Grid{
+			Kind: kind, Tech: t.Name, N: widthN,
+			Key:  key,
+			Eval: func(ctx context.Context, i int) (any, error) { return point(ctx, i) },
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown sweep kind %q", kind)
+}
+
+// PointValue is one evaluated grid point in wire-neutral form: the
+// point's JSON value, or its error annotation under a partial-results
+// sweep.
+type PointValue struct {
+	Index int
+	Value json.RawMessage
+	// Err annotates a failed point ("" = Value holds the result).
+	Err string
+}
+
+// Evaluator evaluates a set of grid indices — locally, or fanned out
+// across worker peers — returning one PointValue per index, any order.
+// The shard coordinator's Evaluate method is one; EvalLocal is the
+// degenerate in-process one the tests use.
+type Evaluator func(ctx context.Context, g *Grid, indices []int) ([]PointValue, error)
+
+// allIndices is 0..n-1.
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// gather runs eval over the whole grid and validates coverage: every
+// index exactly once, every value either annotated or non-empty.
+func gather(ctx context.Context, g *Grid, eval Evaluator) ([]PointValue, error) {
+	vals, err := eval(ctx, g, allIndices(g.N))
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, g.N)
+	for _, v := range vals {
+		if v.Index < 0 || v.Index >= g.N {
+			return nil, fmt.Errorf("%s sweep: evaluator returned index %d outside grid [0, %d)", g.Kind, v.Index, g.N)
+		}
+		if seen[v.Index] {
+			return nil, fmt.Errorf("%s sweep: evaluator returned index %d twice", g.Kind, v.Index)
+		}
+		seen[v.Index] = true
+		if v.Err == "" && len(v.Value) == 0 {
+			return nil, fmt.Errorf("%s sweep: evaluator returned empty value for index %d", g.Kind, v.Index)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("%s sweep: evaluator left index %d (%s) unevaluated", g.Kind, i, g.Key(i))
+		}
+	}
+	return vals, nil
+}
+
+// ALUDepthSharded reproduces Figure 12 through an external evaluator:
+// the grid's points are computed by eval (the shard coordinator fans
+// them out to worker peers) and merged back in index order, so the
+// result is byte-identical to ALUDepthSweepCtx under the same knobs.
+func ALUDepthSharded(ctx context.Context, t *Tech, maxStages int, eval Evaluator) ([]pipeline.Point, error) {
+	ctx, sp := obs.Start(ctx, "sweep:aludepth", obs.KV("tech", t.Name),
+		obs.Int("max_stages", maxStages), obs.Bool("sharded", true))
+	defer sp.End()
+	g, err := SweepGrid(ctx, GridALUDepth, t, maxStages, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := gather(ctx, g, eval)
+	if err != nil {
+		return nil, err
+	}
+	partial := config.Get(ctx).PartialResults
+	pts := make([]pipeline.Point, g.N)
+	for _, v := range vals {
+		if v.Err != "" {
+			if !partial {
+				return nil, fmt.Errorf("point %s: %s", g.Key(v.Index), v.Err)
+			}
+			pts[v.Index] = pipeline.Point{Stages: v.Index + 1, Err: v.Err}
+			continue
+		}
+		if err := json.Unmarshal(v.Value, &pts[v.Index]); err != nil {
+			return nil, fmt.Errorf("point %s: decoding value: %w", g.Key(v.Index), err)
+		}
+	}
+	return pts, nil
+}
+
+// CoreDepthSharded reproduces Figure 11 through an external evaluator.
+// The cheap serial cut-placement walk still runs locally (the depth
+// skeleton fixes Freq/Area/Cuts); only the expensive depth x benchmark
+// IPC simulations come from eval.
+func CoreDepthSharded(ctx context.Context, t *Tech, minDepth, maxDepth int, eval Evaluator) ([]DepthPoint, error) {
+	ctx, sp := obs.Start(ctx, "sweep:coredepth", obs.KV("tech", t.Name),
+		obs.Int("min_depth", minDepth), obs.Int("max_depth", maxDepth), obs.Bool("sharded", true))
+	defer sp.End()
+	g, err := SweepGrid(ctx, GridCoreDepth, t, 0, minDepth, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := depthSkeleton(ctx, t, minDepth, maxDepth, true)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := gather(ctx, g, eval)
+	if err != nil {
+		return nil, err
+	}
+	partial := config.Get(ctx).PartialResults
+	benches := Benchmarks()
+	for _, v := range vals {
+		pt, b := &pts[v.Index/len(benches)], benches[v.Index%len(benches)]
+		if v.Err != "" {
+			if !partial {
+				return nil, fmt.Errorf("point %s: %s", g.Key(v.Index), v.Err)
+			}
+			if pt.Errors == nil {
+				pt.Errors = map[string]string{}
+			}
+			pt.Errors[b] = v.Err
+			continue
+		}
+		var st uarch.Stats
+		if err := json.Unmarshal(v.Value, &st); err != nil {
+			return nil, fmt.Errorf("point %s: decoding value: %w", g.Key(v.Index), err)
+		}
+		pt.IPC[b] = st.IPC
+		pt.Perf[b] = st.IPC * pt.Freq
+	}
+	return pts, nil
+}
+
+// WidthSharded reproduces Figures 13-14 through an external evaluator.
+func WidthSharded(ctx context.Context, t *Tech, eval Evaluator) ([]WidthPoint, error) {
+	ctx, sp := obs.Start(ctx, "sweep:width", obs.KV("tech", t.Name), obs.Bool("sharded", true))
+	defer sp.End()
+	g, err := SweepGrid(ctx, GridWidth, t, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := gather(ctx, g, eval)
+	if err != nil {
+		return nil, err
+	}
+	partial := config.Get(ctx).PartialResults
+	pts := make([]WidthPoint, g.N)
+	for _, v := range vals {
+		if v.Err != "" {
+			if !partial {
+				return nil, fmt.Errorf("point %s: %s", g.Key(v.Index), v.Err)
+			}
+			fe, be := widthAt(v.Index)
+			pts[v.Index] = WidthPoint{Front: fe, Back: be, Err: v.Err}
+			continue
+		}
+		if err := json.Unmarshal(v.Value, &pts[v.Index]); err != nil {
+			return nil, fmt.Errorf("point %s: decoding value: %w", g.Key(v.Index), err)
+		}
+	}
+	return pts, nil
+}
+
+// EvalLocal evaluates grid indices in the calling process, one by one,
+// honoring the context's partial-results posture the way a shard worker
+// does. It is the reference Evaluator the determinism tests compare
+// coordinators against.
+func EvalLocal(ctx context.Context, g *Grid, indices []int) ([]PointValue, error) {
+	partial := config.Get(ctx).PartialResults
+	out := make([]PointValue, 0, len(indices))
+	for _, i := range indices {
+		v, err := g.Eval(ctx, i)
+		if err != nil {
+			if !partial {
+				return nil, fmt.Errorf("point %s: %w", g.Key(i), err)
+			}
+			out = append(out, PointValue{Index: i, Err: runner.ErrLabel(err)})
+			continue
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("point %s: encoding value: %w", g.Key(i), err)
+		}
+		out = append(out, PointValue{Index: i, Value: b})
+	}
+	return out, nil
+}
+
+// depthFirst is the first depth the skeleton emits: the baseline stage
+// count when minDepth asks for less (the walk cannot go shallower than
+// the uncut baseline).
+func depthFirst(minDepth int) int {
+	if minDepth < int(numStages) {
+		return int(numStages)
+	}
+	return minDepth
+}
+
+// widthN is the width grid's point count (FE 1-6 x BE 3-7).
+const widthN = (MaxBack - MinBack + 1) * (MaxFront - MinFront + 1)
+
+// widthAt maps a flat width-grid index to its (front, back) pair in the
+// serial sweep's back-major order.
+func widthAt(i int) (fe, be int) {
+	const cols = MaxFront - MinFront + 1
+	return MinFront + i%cols, MinBack + i/cols
+}

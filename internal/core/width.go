@@ -49,11 +49,32 @@ func WidthSweep(t *Tech) ([]WidthPoint, error) {
 func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 	ctx, sweepSpan := obs.Start(ctx, "sweep:width", obs.KV("tech", t.Name))
 	defer sweepSpan.End()
-	dff := t.DFF()
-	const cols = MaxFront - MinFront + 1
-	n := (MaxBack - MinBack + 1) * cols
+	key, point := widthParts(t)
+	if !config.Get(ctx).PartialResults {
+		return runner.MapKeyed(ctx, widthN, key, point)
+	}
+	pts, errs, err := runner.MapPartialKeyed(ctx, widthN, key, point)
+	if err != nil {
+		return nil, err
+	}
+	for _, te := range errs {
+		fe, be := widthAt(te.Index)
+		pts[te.Index] = WidthPoint{
+			Front: fe,
+			Back:  be,
+			Err:   runner.ErrLabel(te.Err),
+		}
+	}
+	return pts, nil
+}
+
+// widthParts returns the Figures 13-14 lattice parts shared by the
+// local sweep and the shard grid: one checkpoint record and one typed
+// evaluation per (front, back) configuration, enumerated in the serial
+// sweep's back-major order.
+func widthParts(t *Tech) (runner.KeyFunc, func(context.Context, int) (WidthPoint, error)) {
 	point := func(ctx context.Context, i int) (WidthPoint, error) {
-		fe, be := MinFront+i%cols, MinBack+i/cols
+		fe, be := widthAt(i)
 		ctx, sp := obs.Start(ctx, "width-point", obs.Int("fe", fe), obs.Int("be", be))
 		defer sp.End()
 		if err := fault.Inject(ctx, fmt.Sprintf("width-point:%s:fe%d:be%d", t.Name, fe, be)); err != nil {
@@ -63,7 +84,7 @@ func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 		if err != nil {
 			return WidthPoint{}, err
 		}
-		period, tp := pipeline.CoreTiming(ctx, blocks, dff, pipeline.Config{Wire: t.Wire, UseWire: true})
+		period, tp := pipeline.CoreTiming(ctx, blocks, t.DFF(), pipeline.Config{Wire: t.Wire, UseWire: true})
 		mean, err := MeanIPCCtx(ctx, uarchConfig(fe, be, nil))
 		if err != nil {
 			return WidthPoint{}, err
@@ -78,27 +99,12 @@ func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 			Perf:    mean * tp.Freq,
 		}, nil
 	}
-	// One checkpoint record per (front, back) configuration.
 	key := func(i int) string {
-		fe, be := MinFront+i%cols, MinBack+i/cols
+		fe, be := widthAt(i)
 		return checkpoint.PointID("width", t.Name,
 			"fe"+strconv.Itoa(fe), "be"+strconv.Itoa(be))
 	}
-	if !config.Get(ctx).PartialResults {
-		return runner.MapKeyed(ctx, n, key, point)
-	}
-	pts, errs, err := runner.MapPartialKeyed(ctx, n, key, point)
-	if err != nil {
-		return nil, err
-	}
-	for _, te := range errs {
-		pts[te.Index] = WidthPoint{
-			Front: MinFront + te.Index%cols,
-			Back:  MinBack + te.Index/cols,
-			Err:   runner.ErrLabel(te.Err),
-		}
-	}
-	return pts, nil
+	return key, point
 }
 
 // Matrix arranges a width sweep into the paper's M[back][front] layout,

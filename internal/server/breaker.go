@@ -3,204 +3,49 @@ package server
 import (
 	"context"
 	"errors"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/server/breaker"
 )
 
 // ErrUnavailable marks a request rejected by the open circuit breaker —
 // HTTP 503 with a Retry-After hint. Unlike the admission semaphore's
 // 429 (healthy but full), a 503 means recent computations have been
-// failing and the server is deliberately resting the engine.
-var ErrUnavailable = errors.New("engine unavailable (circuit open)")
+// failing and the server is deliberately resting the engine. It is the
+// breaker package's ErrOpen, re-exported under the transport's name.
+var ErrUnavailable = breaker.ErrOpen
 
 // Breaker defaults; Options.BreakerThreshold/BreakerCooldown override.
 const (
-	DefaultBreakerThreshold = 5
-	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultBreakerThreshold = breaker.DefaultThreshold
+	DefaultBreakerCooldown  = breaker.DefaultCooldown
 )
-
-// breaker states.
-const (
-	bkClosed = iota
-	bkOpen
-	bkHalfOpen
-)
-
-// setState records a state transition and mirrors it into the
-// biodeg_breaker_state gauge (callers hold b.mu). The gauge is
-// process-global like the rest of the serving metrics; with several
-// Server instances in one process the last transition wins.
-func (b *breaker) setState(s int) {
-	b.state = s
-	breakerGauge.Set(int64(s))
-}
-
-func stateName(s int) string {
-	switch s {
-	case bkOpen:
-		return "open"
-	case bkHalfOpen:
-		return "half-open"
-	default:
-		return "closed"
-	}
-}
-
-// breaker is a three-state circuit breaker over the engine: threshold
-// consecutive engine-class failures trip it open, open requests
-// fast-fail with ErrUnavailable for a cooldown, then a single half-open
-// probe decides between closing (success) and re-opening (failure). A
-// nil *breaker is a disabled breaker: Allow always admits, Done is a
-// no-op.
-type breaker struct {
-	threshold int
-	cooldown  time.Duration
-
-	mu       sync.Mutex
-	state    int
-	failures int // consecutive engine failures while closed
-	openedAt time.Time
-	probing  bool // the single half-open probe is in flight
-
-	trips     atomic.Int64
-	fastFails atomic.Int64
-}
-
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	if threshold <= 0 {
-		threshold = DefaultBreakerThreshold
-	}
-	if cooldown <= 0 {
-		cooldown = DefaultBreakerCooldown
-	}
-	return &breaker{threshold: threshold, cooldown: cooldown}
-}
-
-// Allow asks to start one computation. It returns ErrUnavailable while
-// the breaker is open (or a half-open probe is already in flight);
-// every admitted computation must report its outcome through Done.
-func (b *breaker) Allow() error {
-	if b == nil {
-		return nil
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case bkOpen:
-		if time.Since(b.openedAt) < b.cooldown {
-			b.fastFails.Add(1)
-			return ErrUnavailable
-		}
-		// Cooldown elapsed: this caller becomes the half-open probe.
-		b.setState(bkHalfOpen)
-		b.probing = true
-		return nil
-	case bkHalfOpen:
-		if b.probing {
-			b.fastFails.Add(1)
-			return ErrUnavailable
-		}
-		b.probing = true
-		return nil
-	default:
-		return nil
-	}
-}
-
-// Done reports an admitted computation's outcome. Only engine-class
-// failures (isEngineFailure) count toward tripping; client errors and
-// client disconnects neither trip nor heal the breaker.
-func (b *breaker) Done(err error) {
-	if b == nil {
-		return
-	}
-	fail := isEngineFailure(err)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case bkHalfOpen:
-		b.probing = false
-		if fail {
-			b.trip()
-		} else if err == nil {
-			b.setState(bkClosed)
-			b.failures = 0
-		}
-	case bkClosed:
-		if fail {
-			b.failures++
-			if b.failures >= b.threshold {
-				b.trip()
-			}
-		} else if err == nil {
-			b.failures = 0
-		}
-	}
-}
-
-// trip opens the breaker (callers hold b.mu).
-func (b *breaker) trip() {
-	b.setState(bkOpen)
-	b.openedAt = time.Now()
-	b.failures = 0
-	b.trips.Add(1)
-	breakerTrips.Inc()
-}
-
-// RetryAfter renders the remaining cooldown as whole seconds (>= 1)
-// for the Retry-After header.
-func (b *breaker) RetryAfter() string {
-	if b == nil {
-		return "1"
-	}
-	b.mu.Lock()
-	remain := b.cooldown - time.Since(b.openedAt)
-	b.mu.Unlock()
-	secs := int(remain.Round(time.Second) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return strconv.Itoa(secs)
-}
 
 // BreakerStatus is the /v1/faultz view of the breaker.
-type BreakerStatus struct {
-	Enabled   bool    `json:"enabled"`
-	State     string  `json:"state"`
-	Failures  int     `json:"consecutive_failures"`
-	Threshold int     `json:"threshold"`
-	CooldownS float64 `json:"cooldown_s"`
-	Trips     int64   `json:"trips"`
-	FastFails int64   `json:"fast_fails"`
-}
+type BreakerStatus = breaker.Status
 
-// Status snapshots the breaker for reporting.
-func (b *breaker) Status() BreakerStatus {
-	if b == nil {
-		return BreakerStatus{Enabled: false, State: "disabled"}
-	}
-	b.mu.Lock()
-	st := BreakerStatus{
-		Enabled:   true,
-		State:     stateName(b.state),
-		Failures:  b.failures,
-		Threshold: b.threshold,
-		CooldownS: b.cooldown.Seconds(),
-	}
-	b.mu.Unlock()
-	st.Trips = b.trips.Load()
-	st.FastFails = b.fastFails.Load()
-	return st
+// newEngineBreaker builds the server's engine breaker: engine-class
+// failures (isEngineFailure) trip it, and transitions mirror into the
+// biodeg_breaker_state gauge. The gauge is process-global like the rest
+// of the serving metrics; with several Server instances in one process
+// the last transition wins.
+func newEngineBreaker(threshold int, cooldown time.Duration) *breaker.Breaker {
+	return breaker.New(breaker.Options{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		IsFailure: isEngineFailure,
+		OnState:   func(s breaker.State) { breakerGauge.Set(int64(s)) },
+		OnTrip:    func() { breakerTrips.Inc() },
+	})
 }
 
 // isEngineFailure classifies err for the breaker: engine bugs, injected
-// faults, and timeouts count; client mistakes (400/404) and client
-// disconnects do not.
+// faults, and timeouts count; client mistakes (400/404), config-digest
+// conflicts (409), and client disconnects do not.
 func isEngineFailure(err error) bool {
 	return err != nil &&
 		!errors.Is(err, ErrBadRequest) &&
 		!errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, errConfigMismatch) &&
 		!errors.Is(err, context.Canceled)
 }

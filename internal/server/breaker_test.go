@@ -14,82 +14,25 @@ import (
 	"repro/internal/fault"
 )
 
-func TestBreakerTransitions(t *testing.T) {
-	b := newBreaker(3, 40*time.Millisecond)
-	boom := errors.New("engine exploded")
+// State-machine unit tests live with the extracted breaker package
+// (internal/server/breaker); here we cover the server's classifier and
+// the breaker's behavior through the full HTTP serving path.
 
-	admit := func(err error) {
-		t.Helper()
-		if aerr := b.Allow(); aerr != nil {
-			t.Fatalf("Allow() = %v, want admit", aerr)
-		}
-		b.Done(err)
-	}
-
-	// Closed: failures below threshold keep admitting; a success resets
-	// the streak.
-	admit(boom)
-	admit(boom)
-	admit(nil)
-	admit(boom)
-	admit(boom)
-	if st := b.Status(); st.State != "closed" || st.Failures != 2 {
-		t.Fatalf("after reset: %+v, want closed with 2 failures", st)
-	}
-
-	// Third consecutive failure trips it open.
-	admit(boom)
-	if st := b.Status(); st.State != "open" || st.Trips != 1 {
-		t.Fatalf("after threshold: %+v, want open with 1 trip", st)
-	}
-	if err := b.Allow(); !errors.Is(err, ErrUnavailable) {
-		t.Fatalf("open Allow() = %v, want ErrUnavailable", err)
-	}
-	if b.Status().FastFails != 1 {
-		t.Fatalf("fast-fail not counted: %+v", b.Status())
-	}
-	if b.RetryAfter() == "" || b.RetryAfter() == "0" {
-		t.Fatalf("RetryAfter() = %q", b.RetryAfter())
-	}
-
-	// Cooldown elapses: one probe is admitted, a second is not.
-	time.Sleep(50 * time.Millisecond)
-	if err := b.Allow(); err != nil {
-		t.Fatalf("half-open probe Allow() = %v, want admit", err)
-	}
-	if err := b.Allow(); !errors.Is(err, ErrUnavailable) {
-		t.Fatalf("second half-open Allow() = %v, want ErrUnavailable", err)
-	}
-	if b.Status().State != "half-open" {
-		t.Fatalf("state = %+v, want half-open", b.Status())
-	}
-
-	// Failing probe re-opens.
-	b.Done(boom)
-	if st := b.Status(); st.State != "open" || st.Trips != 2 {
-		t.Fatalf("after failed probe: %+v, want open with 2 trips", st)
-	}
-
-	// Next probe succeeds: closed again, streak cleared.
-	time.Sleep(50 * time.Millisecond)
-	if err := b.Allow(); err != nil {
-		t.Fatalf("second probe Allow() = %v", err)
-	}
-	b.Done(nil)
-	if st := b.Status(); st.State != "closed" || st.Failures != 0 {
-		t.Fatalf("after healed probe: %+v, want closed", st)
-	}
-}
-
-func TestBreakerIgnoresClientErrors(t *testing.T) {
-	b := newBreaker(2, time.Minute)
-	for i := 0; i < 10; i++ {
+// TestEngineBreakerIgnoresClientErrors checks the server's failure
+// classifier: client mistakes, shard config mismatches, and client
+// disconnects never move the engine breaker; engine-class errors
+// (including timeouts) trip it.
+func TestEngineBreakerIgnoresClientErrors(t *testing.T) {
+	b := newEngineBreaker(2, time.Minute)
+	for i := 0; i < 9; i++ {
 		if err := b.Allow(); err != nil {
 			t.Fatalf("Allow() = %v", err)
 		}
-		switch i % 2 {
+		switch i % 3 {
 		case 0:
 			b.Done(fmt.Errorf("%w: nonsense", ErrBadRequest))
+		case 1:
+			b.Done(fmt.Errorf("%w: lease from elsewhere", errConfigMismatch))
 		default:
 			b.Done(context.Canceled)
 		}
@@ -102,17 +45,6 @@ func TestBreakerIgnoresClientErrors(t *testing.T) {
 	b.Done(context.DeadlineExceeded)
 	if st := b.Status(); st.State != "open" {
 		t.Fatalf("timeouts did not trip: %+v", st)
-	}
-}
-
-func TestNilBreakerDisabled(t *testing.T) {
-	var b *breaker
-	if err := b.Allow(); err != nil {
-		t.Fatalf("nil Allow() = %v", err)
-	}
-	b.Done(errors.New("x"))
-	if st := b.Status(); st.Enabled || st.State != "disabled" {
-		t.Fatalf("nil Status() = %+v", st)
 	}
 }
 

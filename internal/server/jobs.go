@@ -159,8 +159,12 @@ func (st *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// list snapshots every job's status, ordered by ID.
-func (st *jobStore) list() []api.JobStatus {
+// page snapshots one page of job statuses in ascending-ID order (job
+// IDs are content-addressed, so the ordering is stable across
+// restarts): jobs with ID > after, matching state when non-empty, at
+// most limit of them. next is the cursor of the following page — the
+// last returned ID, set only when more matching jobs remain.
+func (st *jobStore) page(after, state string, limit int) ([]api.JobStatus, string) {
 	st.mu.Lock()
 	ids := make([]string, 0, len(st.jobs))
 	for id := range st.jobs {
@@ -168,13 +172,25 @@ func (st *jobStore) list() []api.JobStatus {
 	}
 	st.mu.Unlock()
 	sort.Strings(ids)
-	out := make([]api.JobStatus, 0, len(ids))
+	out := make([]api.JobStatus, 0, min(limit, len(ids)))
 	for _, id := range ids {
-		if j, ok := st.get(id); ok {
-			out = append(out, st.status(j, false))
+		if id <= after {
+			continue
 		}
+		j, ok := st.get(id)
+		if !ok {
+			continue
+		}
+		s := st.status(j, false)
+		if state != "" && s.State != state {
+			continue
+		}
+		if len(out) == limit {
+			return out, out[len(out)-1].ID
+		}
+		out = append(out, s)
 	}
-	return out
+	return out, ""
 }
 
 // jobDir is the job's directory under the store root.

@@ -43,6 +43,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -50,7 +51,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/runner/metrics"
+	"repro/internal/server/breaker"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // CacheHeader reports how a cacheable response was produced: "hit"
@@ -96,7 +99,7 @@ type Server struct {
 	flight   runner.Memo[string, []byte]
 	cache    *resultCache
 	progress *progressBroker
-	brk      *breaker
+	brk      *breaker.Breaker
 	inj      *fault.Injector
 	inflight atomic.Int64
 	shed     atomic.Int64
@@ -122,9 +125,9 @@ func New(eng Engine, opts Options) *Server {
 	if opts.Injector == nil {
 		opts.Injector = fault.Default()
 	}
-	var brk *breaker
+	var brk *breaker.Breaker
 	if opts.BreakerThreshold >= 0 {
-		brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+		brk = newEngineBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
 	s := &Server{
 		eng:      eng,
@@ -152,9 +155,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
 	s.mux.HandleFunc("POST /v1/sweeps/{kind}", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/shards/exec", s.handleShardExec)
+	s.mux.HandleFunc("GET /v1/shardz", s.handleShardz)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	// Method-less catch-all: unmatched requests get the error envelope
+	// (404, or 405 + Allow when the path exists under other methods)
+	// instead of the mux's plain-text defaults. Registering it disables
+	// the mux's own 405 synthesis, so handleFallback probes for it.
+	s.mux.HandleFunc("/", s.handleFallback)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -202,9 +212,47 @@ func writeJSONBytes(w http.ResponseWriter, status int, b []byte) {
 	w.Write(b) //nolint:errcheck // client gone; nothing to do
 }
 
+// writeError renders the versioned error envelope (api.Error): a
+// stable machine-readable code derived from the status, the
+// human-readable message, and a retry hint mirroring any Retry-After
+// header already set on w. Served as application/problem+json so
+// clients can distinguish the envelope from result bodies.
 func writeError(w http.ResponseWriter, status int, msg string) {
-	b, _ := json.Marshal(map[string]string{"error": msg})
-	writeJSONBytes(w, status, b)
+	e := wire.Error{Code: wire.CodeFor(status), Message: msg}
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfterS = float64(secs)
+		}
+	}
+	b, _ := json.Marshal(e)
+	w.Header().Set("Content-Type", wire.ProblemContentType)
+	w.WriteHeader(status)
+	w.Write(b) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleFallback serves every request no explicit route matched, with
+// the error envelope instead of the mux's plain-text defaults. It
+// distinguishes "wrong method" from "no such path" by probing the mux
+// under the other methods — registering a catch-all pattern disables
+// the mux's own 405 synthesis, so the probe recreates it (with Allow).
+func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
+	var allowed []string
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete} {
+		if m == r.Method {
+			continue
+		}
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/" {
+			allowed = append(allowed, m)
+		}
+	}
+	if len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed on "+r.URL.Path)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no such route: "+r.Method+" "+r.URL.Path)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -246,6 +294,8 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, errConfigMismatch):
+		return http.StatusConflict
 	case errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):

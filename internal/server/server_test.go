@@ -71,6 +71,28 @@ func (f *fakeEngine) Simulate(ctx context.Context, req api.SimulateRequest) (*ap
 	return &api.SimulateResult{Version: api.Version, Bench: req.Bench, Stats: api.Stats{IPC: 0.5}}, nil
 }
 
+// ShardExec answers each leased index with a synthetic value; index 13
+// simulates a worker running under different result-shaping knobs.
+func (f *fakeEngine) ShardExec(ctx context.Context, req *api.ShardRequest) (*api.ShardResult, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	if len(req.Indices) == 0 {
+		return nil, fmt.Errorf("%w: empty index batch", ErrBadRequest)
+	}
+	res := &api.ShardResult{Version: api.Version, Kind: req.Kind, Worker: "fake"}
+	for _, i := range req.Indices {
+		if i == 13 {
+			return nil, fmt.Errorf("%w: lease bound elsewhere", errConfigMismatch)
+		}
+		res.Points = append(res.Points, api.ShardPoint{
+			Index: i, Key: fmt.Sprintf("pt-%d", i),
+			Value: json.RawMessage(fmt.Sprintf(`{"stages":%d}`, i+1)),
+		})
+	}
+	return res, nil
+}
+
 func newTestServer(t *testing.T, eng Engine, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(eng, opts)

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Exec evaluates one lease in this process — the worker side of
+// POST /v1/shards/exec. The leased indices fan out over the worker
+// pool with the same per-point checkpoint keys a local sweep uses, so
+// a worker's own journal replays across execution styles. Under
+// config.PartialResults a failed point comes back annotated instead of
+// failing the lease (mirroring the local sweeps' posture).
+func Exec(ctx context.Context, req *Request) (*Result, error) {
+	if len(req.Indices) == 0 {
+		return nil, fmt.Errorf("%w: empty index batch", ErrBadRequest)
+	}
+	if req.ConfigDigest != "" {
+		if d := Digest(config.Get(ctx)); d != req.ConfigDigest {
+			return nil, fmt.Errorf("%w: lease bound to %s, worker effective config is %s",
+				ErrConfigMismatch, req.ConfigDigest, d)
+		}
+	}
+	t, err := core.TechByName(req.Tech)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	maxStages, minDepth, maxDepth := normalizeBounds(req.MaxStages, req.MinDepth, req.MaxDepth)
+	g, err := core.SweepGrid(ctx, req.Kind, t, maxStages, minDepth, maxDepth)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	for _, i := range req.Indices {
+		if i < 0 || i >= g.N {
+			return nil, fmt.Errorf("%w: index %d outside %s grid [0, %d)", ErrBadRequest, i, g.Kind, g.N)
+		}
+	}
+	ctx, sp := obs.Start(ctx, "shard.exec",
+		obs.KV("kind", g.Kind), obs.KV("tech", g.Tech), obs.Int("points", len(req.Indices)))
+	defer sp.End()
+
+	key := func(i int) string { return g.Key(req.Indices[i]) }
+	point := func(ctx context.Context, i int) (json.RawMessage, error) {
+		v, err := g.Eval(ctx, req.Indices[i])
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	}
+	res := &Result{Version: Version, Kind: g.Kind, Worker: workerName(), Points: make([]PointResult, len(req.Indices))}
+	if !config.Get(ctx).PartialResults {
+		vals, err := runner.MapKeyed(ctx, len(req.Indices), key, point)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vals {
+			res.Points[i] = PointResult{Index: req.Indices[i], Key: key(i), Value: v}
+		}
+		return res, nil
+	}
+	vals, errs, err := runner.MapPartialKeyed(ctx, len(req.Indices), key, point)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vals {
+		res.Points[i] = PointResult{Index: req.Indices[i], Key: key(i), Value: v}
+	}
+	for _, te := range errs {
+		res.Points[te.Index] = PointResult{
+			Index: req.Indices[te.Index],
+			Key:   key(te.Index),
+			Err:   runner.ErrLabel(te.Err),
+		}
+	}
+	return res, nil
+}
+
+// normalizeBounds applies the sweep-request defaults (the same ones the
+// HTTP sweep handlers apply), so coordinator and worker agree on the
+// grid regardless of which bounds a request spells out.
+func normalizeBounds(maxStages, minDepth, maxDepth int) (int, int, int) {
+	if maxStages <= 0 {
+		maxStages = 12
+	}
+	if minDepth <= 0 {
+		minDepth = 9
+	}
+	if maxDepth <= 0 {
+		maxDepth = 15
+	}
+	return maxStages, minDepth, maxDepth
+}
+
+// workerName identifies this process in shard results (diagnostics
+// only).
+func workerName() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s/%d", host, os.Getpid())
+}

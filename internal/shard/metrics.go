@@ -1,0 +1,24 @@
+package shard
+
+import "repro/internal/telemetry"
+
+// Shard-layer telemetry on the process-default registry, scraped at
+// GET /metricsz alongside the biodeg_http_* families. Registered once
+// at package init; per-peer families are bounded by the -peers list.
+var (
+	leasesInflight = telemetry.Default().Gauge("biodeg_shard_leases_inflight",
+		"Point-leases currently dispatched or awaiting re-dispatch.").With()
+	leasesTotal = telemetry.Default().Counter("biodeg_shard_leases_total",
+		"Point-leases by terminal outcome: ok, failed (dispatch budget exhausted), aborted (config mismatch or cancellation), replayed (journal hit, no dispatch).",
+		"outcome")
+	redispatches = telemetry.Default().Counter("biodeg_shard_redispatch_total",
+		"Lease re-dispatches after a timeout or peer failure.").With()
+	hedges = telemetry.Default().Counter("biodeg_shard_hedges_total",
+		"Hedged duplicate dispatches launched for slow leases.").With()
+	hedgesWon = telemetry.Default().Counter("biodeg_shard_hedges_won_total",
+		"Hedged dispatches that answered before the primary.").With()
+	peerLatency = telemetry.Default().Histogram("biodeg_shard_peer_exec_seconds",
+		"Lease execution latency by peer.", telemetry.DurationBuckets, "peer")
+	peerStateGauge = telemetry.Default().Gauge("biodeg_shard_peer_state",
+		"Per-peer circuit breaker state: 0 closed, 1 open, 2 half-open.", "peer")
+)

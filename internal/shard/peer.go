@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Peer is one worker the coordinator can lease grid points to.
+type Peer interface {
+	// Name labels the peer in telemetry and status reports.
+	Name() string
+	// Exec evaluates one lease and returns its points.
+	Exec(ctx context.Context, req *Request) (*Result, error)
+}
+
+// Local is the in-process loopback peer: the coordinator's own worker
+// pool evaluates the lease via Exec. A coordinator always carries one,
+// so a sweep completes (slowly) even with every remote peer down.
+type Local struct{}
+
+// Name implements Peer.
+func (Local) Name() string { return "loopback" }
+
+// Exec implements Peer.
+func (Local) Exec(ctx context.Context, req *Request) (*Result, error) {
+	return Exec(ctx, req)
+}
+
+// HTTPPeer dispatches leases to a remote biodegd worker over
+// POST {base}/v1/shards/exec. Error responses are expected in the
+// versioned problem+json envelope (internal/wire); a config_mismatch
+// code maps back to ErrConfigMismatch so the coordinator aborts instead
+// of re-dispatching.
+type HTTPPeer struct {
+	base   string
+	name   string
+	client *http.Client
+}
+
+// NewHTTPPeer builds a peer for a worker base URL (e.g.
+// "http://host:8080"). The client may be nil (http.DefaultClient);
+// per-lease deadlines come from the dispatch context, not the client.
+func NewHTTPPeer(base string, client *http.Client) *HTTPPeer {
+	base = strings.TrimRight(base, "/")
+	name := base
+	if u, err := url.Parse(base); err == nil && u.Host != "" {
+		name = u.Host
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPPeer{base: base, name: name, client: client}
+}
+
+// Name implements Peer.
+func (p *HTTPPeer) Name() string { return p.name }
+
+// Exec implements Peer.
+func (p *HTTPPeer) Exec(ctx context.Context, req *Request) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: encoding lease: %w", p.name, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+"/v1/shards/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: reading response: %w", p.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if e, ok := wire.Parse(raw); ok {
+			if e.Code == wire.CodeConfigMismatch {
+				return nil, fmt.Errorf("peer %s: %w: %s", p.name, ErrConfigMismatch, e.Message)
+			}
+			return nil, fmt.Errorf("peer %s: %w", p.name, e)
+		}
+		return nil, fmt.Errorf("peer %s: HTTP %d: %.200s", p.name, resp.StatusCode, raw)
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("peer %s: decoding result: %w", p.name, err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// loadReport reads and validates one biodeg-bench/v1 report.
+func loadReport(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+// parseThreshold accepts "10%", "10", or "12.5%" and returns the
+// regression threshold as a fraction (0.10 for "10%").
+func parseThreshold(s string) (float64, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid threshold %q (want e.g. \"10%%\")", s)
+	}
+	return v / 100, nil
+}
+
+// compareReports diffs two biodeg-bench/v1 reports benchmark by
+// benchmark and returns the number of regressions: benchmarks whose
+// ns/op grew by more than threshold, ran in the baseline but not the
+// current report, or newly fail. allocs/op deltas are printed for
+// context (they are hardware-independent) but only ns/op gates.
+func compareReports(base, cur *BenchReport, threshold float64) int {
+	fmt.Printf("baseline %s (%s)  vs  current %s (%s)  threshold %.1f%%\n",
+		shortRev(base), base.Timestamp.Format("2006-01-02"),
+		shortRev(cur), cur.Timestamp.Format("2006-01-02"), threshold*100)
+	fmt.Printf("%-10s %14s %14s %9s %9s  %s\n",
+		"bench", "base ns/op", "cur ns/op", "delta", "allocs", "status")
+	baseBy := map[string]BenchEntry{}
+	for _, e := range base.Benchmarks {
+		baseBy[e.Name] = e
+	}
+	curBy := map[string]BenchEntry{}
+	for _, e := range cur.Benchmarks {
+		curBy[e.Name] = e
+	}
+	regressed := 0
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		switch {
+		case b.Error != "":
+			// A benchmark broken at the baseline cannot regress.
+			fmt.Printf("%-10s %14s %14s %9s %9s  baseline error, skipped\n", b.Name, "-", "-", "-", "-")
+			continue
+		case !ok:
+			fmt.Printf("%-10s %14.0f %14s %9s %9s  MISSING from current report\n", b.Name, b.NsPerOp, "-", "-", "-")
+			regressed++
+			continue
+		case c.Error != "":
+			fmt.Printf("%-10s %14.0f %14s %9s %9s  FAILS: %s\n", b.Name, b.NsPerOp, "-", "-", "-", c.Error)
+			regressed++
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = c.NsPerOp/b.NsPerOp - 1
+		}
+		status := "ok"
+		if delta > threshold {
+			status = fmt.Sprintf("REGRESSED (> %.1f%%)", threshold*100)
+			regressed++
+		} else if delta < -threshold {
+			status = "improved"
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %+8.1f%% %+8d  %s\n",
+			b.Name, b.NsPerOp, c.NsPerOp, delta*100, c.AllocsPerOp-b.AllocsPerOp, status)
+	}
+	for _, c := range cur.Benchmarks {
+		if _, ok := baseBy[c.Name]; !ok {
+			fmt.Printf("%-10s %14s %14.0f %9s %9s  new (no baseline)\n", c.Name, "-", c.NsPerOp, "-", "-")
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: %d benchmark(s) regressed beyond %.1f%%\n", regressed, threshold*100)
+	} else {
+		fmt.Println("no regressions")
+	}
+	return regressed
+}
+
+// compareFiles loads two reports and diffs them, returning the process
+// exit code: 0 clean, 2 on unreadable reports, 3 on regression.
+func compareFiles(basePath, curPath string, threshold float64) int {
+	base, err := loadReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: current: %v\n", err)
+		return 2
+	}
+	if compareReports(base, cur, threshold) > 0 {
+		return 3
+	}
+	return 0
+}
+
+// shortRev abbreviates a report's vcs revision for the comparison
+// header ("worktree" when unknown, "+dirty" when modified).
+func shortRev(r *BenchReport) string {
+	rev := r.VCSRevision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "worktree"
+	}
+	if r.VCSModified {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"10%", 0.10, true},
+		{"10", 0.10, true},
+		{"12.5%", 0.125, true},
+		{" 7 % ", 0.07, true}, // whitespace around number and suffix is tolerated
+		{"0%", 0, true},
+		{"-5%", 0, false},
+		{"junk", 0, false},
+	} {
+		got, err := parseThreshold(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseThreshold(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseThreshold(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func report(entries ...BenchEntry) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Timestamp: time.Unix(0, 0).UTC(), Benchmarks: entries}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report(
+		BenchEntry{Name: "a", NsPerOp: 1000},
+		BenchEntry{Name: "b", NsPerOp: 1000},
+		BenchEntry{Name: "c", NsPerOp: 1000},
+		BenchEntry{Name: "gone", NsPerOp: 1000},
+		BenchEntry{Name: "broken", Error: "never worked"},
+	)
+	cur := report(
+		BenchEntry{Name: "a", NsPerOp: 1050},        // +5%: within threshold
+		BenchEntry{Name: "b", NsPerOp: 1200},        // +20%: regression
+		BenchEntry{Name: "c", Error: "new failure"}, // regression
+		BenchEntry{Name: "new", NsPerOp: 500},       // no baseline: informational
+		BenchEntry{Name: "broken", NsPerOp: 1e9},    // baseline was broken: skipped
+	)
+	// b regressed, c newly fails, gone went missing = 3.
+	if got := compareReports(base, cur, 0.10); got != 3 {
+		t.Errorf("compareReports = %d regressions, want 3", got)
+	}
+	if got := compareReports(base, base, 0.10); got != 0 {
+		t.Errorf("self-comparison = %d regressions, want 0", got)
+	}
+}
+
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil {
+		t.Fatal("loadReport accepted a report with the wrong schema")
+	}
+	if _, err := loadReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("loadReport accepted a missing file")
+	}
+}

@@ -13,6 +13,14 @@
 // GOMAXPROCS, vcs revision — see EXPERIMENTS.md) is written to the
 // named file, so perf trajectories can be compared across commits.
 //
+// With -compare baseline.json, the freshly measured report (requires
+// -json) is diffed against the named baseline and benchrun exits 3 if
+// any benchmark's ns/op grew by more than -threshold (default 10%),
+// went missing, or newly fails. With -against current.json the two
+// existing reports are diffed without running anything — the CI
+// regression gate. allocs/op deltas are printed for context but do not
+// gate (ns/op already bounds them; they stay exact across hardware).
+//
 // Common flags (each defaults from the matching BIODEG_* environment
 // variable; explicit flags win): -workers, -metrics, -libcache,
 // -trace, -jsonl, -manifest, -pprof, -log-format, -log-level.
@@ -34,7 +42,27 @@ func main() {
 	be := flag.Int("be", 3, "back-end execution pipes (1 mem + 1 control + be-2 ALU)")
 	depthF := flag.Int("front-stages", 4, "fetch-to-dispatch pipeline stages")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report (schema biodeg-bench/v1) to this file")
+	compare := flag.String("compare", "", "baseline biodeg-bench/v1 report to diff against (exit 3 on regression)")
+	against := flag.String("against", "", "with -compare: diff this existing report instead of running benchmarks")
+	thresholdS := flag.String("threshold", "10%", "ns/op growth beyond which -compare reports a regression")
 	flag.Parse()
+	threshold, err := parseThreshold(*thresholdS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(2)
+	}
+	if *against != "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchrun: -against requires -compare")
+		os.Exit(2)
+	}
+	if *compare != "" && *against == "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchrun: -compare needs either -against (diff two existing reports) or -json (measure, then diff)")
+		os.Exit(2)
+	}
+	if *compare != "" && *against != "" {
+		// Pure report diff: no simulation, no session.
+		os.Exit(compareFiles(*compare, *against, threshold))
+	}
 	which := flag.Arg(0)
 	if which == "" {
 		which = "all"
@@ -91,5 +119,8 @@ func main() {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchrun: %d of %d benchmarks failed\n", failed, len(benches))
 		os.Exit(1)
+	}
+	if *compare != "" {
+		os.Exit(compareFiles(*compare, *jsonOut, threshold))
 	}
 }

@@ -52,6 +52,7 @@ func Library(t *Technology) *liberty.Library {
 		if cacheDir != "" {
 			if lib, err := loadLibraryFile(filepath.Join(cacheDir, t.Name+".lib")); err == nil {
 				sp.Set("cache", "hit")
+				lib.Freeze()
 				return lib, nil
 			}
 		}
@@ -64,6 +65,7 @@ func Library(t *Technology) *liberty.Library {
 			// Best effort: a failed save only means re-characterizing later.
 			_ = saveLibraryFile(filepath.Join(cacheDir, t.Name+".lib"), lib)
 		}
+		lib.Freeze()
 		return lib, nil
 	})
 	if err != nil {

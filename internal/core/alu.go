@@ -74,10 +74,11 @@ func aluDepthSweep(ctx context.Context, t *Tech, maxStages int, wire bool, feedb
 		obs.KV("tech", t.Name), obs.Bool("wire", wire), obs.Int("max_stages", maxStages))
 	defer sp.End()
 	key, point := aluParts(t, wire, feedbackK)
+	chunk := runner.Chunk(ctx, maxStages)
 	if !config.Get(ctx).PartialResults {
-		return runner.MapKeyed(ctx, maxStages, key, point)
+		return runner.MapKeyedChunked(ctx, maxStages, chunk, key, point)
 	}
-	pts, errs, err := runner.MapPartialKeyed(ctx, maxStages, key, point)
+	pts, errs, err := runner.MapPartialKeyedChunked(ctx, maxStages, chunk, key, point)
 	if err != nil {
 		return nil, err
 	}

@@ -70,9 +70,11 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 		return depthPairKey(t, wire, pts[i/len(benches)].Depth, benches[i%len(benches)])
 	}
 	var stats []uarch.Stats
+	n := len(pts) * len(benches)
+	chunk := runner.Chunk(ctx, n)
 	if config.Get(ctx).PartialResults {
 		var errs []*runner.TaskError
-		stats, errs, err = runner.MapPartialKeyed(ctx, len(pts)*len(benches), key, point)
+		stats, errs, err = runner.MapPartialKeyedChunked(ctx, n, chunk, key, point)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +86,7 @@ func CoreDepthSweepCtx(ctx context.Context, t *Tech, minDepth, maxDepth int, wir
 			pt.Errors[b] = runner.ErrLabel(te.Err)
 		}
 	} else {
-		stats, err = runner.MapKeyed(ctx, len(pts)*len(benches), key, point)
+		stats, err = runner.MapKeyedChunked(ctx, n, chunk, key, point)
 		if err != nil {
 			return nil, err
 		}

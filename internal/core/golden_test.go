@@ -1,0 +1,277 @@
+// Golden-conformance suite: committed renderings of the cheap
+// experiments (testdata/golden/*.tbl) pin the exact bytes every
+// execution style must produce, and the style matrix proves the
+// serial reference evaluator, the parallel sweeps, the batched kernel
+// (EvalPointsBatch), the shard-merged coordinator, and a
+// checkpoint-resumed run agree byte for byte. The suite is the safety
+// net under hot-path kernel changes: an optimization that perturbs
+// float evaluation order or point enumeration fails here, not in a
+// downstream diff.
+//
+// Regenerate the golden files after an intentional output change with
+//
+//	go test ./internal/core/ -run TestGolden -update
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/shard"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/*.tbl from this run")
+
+// goldenIDs are the experiments whose rendered tables are pinned.
+// Device/cell analyses (fig3-fig9) are cheap and fully analytic; fig12
+// exercises the synthesis + STA + pipelining stack end to end.
+var goldenIDs = []string{"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig12"}
+
+// expensiveGolden marks the IDs skipped under -short (they need
+// characterized libraries or full depth sweeps).
+var expensiveGolden = map[string]bool{"fig9": true, "fig12": true}
+
+// renderAll concatenates an experiment's rendered tables — the exact
+// bytes replicate prints and the digest manifest hashes.
+func renderAll(tables []*core.Table) []byte {
+	var b bytes.Buffer
+	for _, t := range tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".tbl")
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && expensiveGolden[id] {
+				t.Skip("expensive golden experiment")
+			}
+			e := core.ExperimentByID(id)
+			if e == nil {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			tables, err := e.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderAll(tables)
+			path := goldenPath(id)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s rendering diverged from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}
+
+// execPeer is an in-process worker: leases evaluate through the real
+// shard.Exec path (grid rebuild, bounds normalization, batched
+// kernel), exactly like a remote biodegd would.
+type execPeer struct{ name string }
+
+func (p execPeer) Name() string { return p.name }
+func (p execPeer) Exec(ctx context.Context, req *shard.Request) (*shard.Result, error) {
+	return shard.Exec(ctx, req)
+}
+
+// styleGrid is one conformance subject: a grid plus the high-level
+// sweep assemblies whose outputs must agree across evaluators.
+type styleGrid struct {
+	kind                          string
+	maxStages, minDepth, maxDepth int
+	// sweep runs the ordinary parallel sweep (the production local
+	// path) and returns its result in wire-neutral JSON.
+	sweep func(ctx context.Context, tech *core.Tech) (any, error)
+	// sharded runs the sharded assembly through eval.
+	sharded func(ctx context.Context, tech *core.Tech, eval core.Evaluator) (any, error)
+}
+
+var styleGrids = []styleGrid{
+	{
+		kind: core.GridALUDepth, maxStages: 30,
+		sweep: func(ctx context.Context, tech *core.Tech) (any, error) {
+			return core.ALUDepthSweepCtx(ctx, tech, 30, true)
+		},
+		sharded: func(ctx context.Context, tech *core.Tech, eval core.Evaluator) (any, error) {
+			return core.ALUDepthSharded(ctx, tech, 30, eval)
+		},
+	},
+	{
+		kind: core.GridWidth,
+		sweep: func(ctx context.Context, tech *core.Tech) (any, error) {
+			return core.WidthSweepCtx(ctx, tech)
+		},
+		sharded: func(ctx context.Context, tech *core.Tech, eval core.Evaluator) (any, error) {
+			return core.WidthSharded(ctx, tech, eval)
+		},
+	},
+	{
+		kind: core.GridCoreDepth, minDepth: 9, maxDepth: 11,
+		sweep: func(ctx context.Context, tech *core.Tech) (any, error) {
+			return core.CoreDepthSweepCtx(ctx, tech, 9, 11, true)
+		},
+		sharded: func(ctx context.Context, tech *core.Tech, eval core.Evaluator) (any, error) {
+			return core.CoreDepthSharded(ctx, tech, 9, 11, eval)
+		},
+	},
+}
+
+// mustJSON is the byte-for-byte witness: two results that marshal to
+// the same JSON would render, journal, and ship over the wire
+// identically.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenExecutionStyles is the conformance matrix: for each sweep
+// grid, the serial reference evaluator, the batched kernel, and the
+// shard-merged coordinator must return identical point sets, and the
+// parallel local sweep must assemble to the same bytes as the sharded
+// assemblies over each of them.
+func TestGoldenExecutionStyles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design-space sweeps are expensive")
+	}
+	ctx := context.Background()
+	tech := core.SiliconTech()
+	for _, sg := range styleGrids {
+		t.Run(sg.kind, func(t *testing.T) {
+			g, err := core.SweepGrid(ctx, sg.kind, tech, sg.maxStages, sg.minDepth, sg.maxDepth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indices := make([]int, g.N)
+			for i := range indices {
+				indices[i] = i
+			}
+
+			// Point level: serial vs batched vs shard-merged.
+			serial, err := core.EvalLocal(ctx, g, indices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := core.EvalPointsBatch(ctx, g, indices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord := shard.New(shard.Options{Batch: 5, HedgeAfter: -1},
+				execPeer{"w1"}, execPeer{"w2"})
+			merged, err := coord.Evaluate(ctx, g, indices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, batched) {
+				t.Errorf("batched kernel diverged from serial reference")
+			}
+			if !reflect.DeepEqual(serial, merged) {
+				t.Errorf("shard-merged evaluation diverged from serial reference")
+			}
+
+			// Assembly level: the parallel local sweep and the sharded
+			// assemblies over each evaluator marshal to the same bytes.
+			local, err := sg.sweep(ctx, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mustJSON(t, local)
+			for _, style := range []struct {
+				name string
+				eval core.Evaluator
+			}{
+				{"serial", core.EvalLocal},
+				{"batched", core.EvalPointsBatch},
+				{"sharded", coord.Evaluate},
+			} {
+				got, err := sg.sharded(ctx, tech, style.eval)
+				if err != nil {
+					t.Fatalf("%s assembly: %v", style.name, err)
+				}
+				if !bytes.Equal(mustJSON(t, got), want) {
+					t.Errorf("%s assembly bytes diverged from the parallel local sweep", style.name)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCheckpointResume closes the matrix: a journaled sweep
+// replayed through a fresh journal handle (the crash-resume shape)
+// produces the same bytes as a cold run.
+func TestGoldenCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design-space sweeps are expensive")
+	}
+	tech := core.SiliconTech()
+	base := config.WithContext(context.Background(), config.Config{Workers: 4})
+	cold, err := core.ALUDepthSweepCtx(base, tech, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "journal.bdj")
+	meta := checkpoint.Meta{Tool: "test", Label: "golden"}
+	jnl, _, err := checkpoint.Open(context.Background(), path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := core.ALUDepthSweepCtx(runner.WithCheckpoint(base, jnl), tech, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl.Close()
+
+	jnl2, rec, err := checkpoint.Open(context.Background(), path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if rec.Records != 12 {
+		t.Fatalf("recovered %d journal records, want 12", rec.Records)
+	}
+	resumed, err := core.ALUDepthSweepCtx(runner.WithCheckpoint(base, jnl2), tech, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]any{"journaled": first, "resumed": resumed} {
+		if !bytes.Equal(mustJSON(t, got), mustJSON(t, cold)) {
+			t.Errorf("%s sweep bytes diverged from the cold run", name)
+		}
+	}
+	if st := jnl2.Stats(); st.Replayed < 12 {
+		t.Errorf("resumed run replayed %d points, want all 12", st.Replayed)
+	}
+}

@@ -22,12 +22,15 @@ const (
 )
 
 // TechByName resolves a technology by its wire name ("" means organic,
-// matching the sweep-request default).
+// matching the sweep-request default). The cell library's canonical
+// name ("silicon45") is accepted too: grids carry Tech = t.Name, and a
+// shard coordinator forwards that field verbatim in its leases, so the
+// worker-side resolver must round-trip it.
 func TechByName(name string) (*Tech, error) {
 	switch name {
 	case "organic", "":
 		return OrganicTech(), nil
-	case "silicon":
+	case "silicon", "silicon45":
 		return SiliconTech(), nil
 	}
 	return nil, fmt.Errorf("unknown technology %q (want organic or silicon)", name)
@@ -279,6 +282,48 @@ func WidthSharded(ctx context.Context, t *Tech, eval Evaluator) ([]WidthPoint, e
 		}
 	}
 	return pts, nil
+}
+
+// EvalPointsBatch evaluates a contiguous lease of grid indices on the
+// worker pool in chunked batches — the batched kernel entry point shared
+// by the shard worker (Exec) and the sharded sweep assemblies. Each
+// point keeps its own checkpoint key, fault-injection site, span, and
+// retry budget (chunking changes only which worker runs which index),
+// and the partial-results posture annotates failed points exactly the
+// way EvalLocal does — so the merged output is byte-identical to a
+// serial evaluation. It is itself an Evaluator.
+func EvalPointsBatch(ctx context.Context, g *Grid, indices []int) ([]PointValue, error) {
+	key := func(i int) string { return g.Key(indices[i]) }
+	point := func(ctx context.Context, i int) (json.RawMessage, error) {
+		v, err := g.Eval(ctx, indices[i])
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	}
+	chunk := runner.Chunk(ctx, len(indices))
+	out := make([]PointValue, len(indices))
+	if !config.Get(ctx).PartialResults {
+		vals, err := runner.MapKeyedChunked(ctx, len(indices), chunk, key, point)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vals {
+			out[i] = PointValue{Index: indices[i], Value: v}
+		}
+		return out, nil
+	}
+	vals, errs, err := runner.MapPartialKeyedChunked(ctx, len(indices), chunk, key, point)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vals {
+		out[i] = PointValue{Index: indices[i], Value: v}
+	}
+	for _, te := range errs {
+		out[te.Index] = PointValue{Index: indices[te.Index], Err: runner.ErrLabel(te.Err)}
+	}
+	return out, nil
 }
 
 // EvalLocal evaluates grid indices in the calling process, one by one,

@@ -50,10 +50,11 @@ func WidthSweepCtx(ctx context.Context, t *Tech) ([]WidthPoint, error) {
 	ctx, sweepSpan := obs.Start(ctx, "sweep:width", obs.KV("tech", t.Name))
 	defer sweepSpan.End()
 	key, point := widthParts(t)
+	chunk := runner.Chunk(ctx, widthN)
 	if !config.Get(ctx).PartialResults {
-		return runner.MapKeyed(ctx, widthN, key, point)
+		return runner.MapKeyedChunked(ctx, widthN, chunk, key, point)
 	}
-	pts, errs, err := runner.MapPartialKeyed(ctx, widthN, key, point)
+	pts, errs, err := runner.MapPartialKeyedChunked(ctx, widthN, chunk, key, point)
 	if err != nil {
 		return nil, err
 	}

@@ -87,8 +87,30 @@ const (
 	ClassSys
 )
 
-// Class returns the execution class of the opcode.
-func (o Op) Class() Class {
+// Opcode attribute tables. The cycle-level model consults Class, IsCond,
+// and UsesRs2 several times per dynamic instruction, so they are flat
+// array lookups rather than switches.
+var (
+	opClass   [numOps]Class
+	opIsCond  [numOps]bool
+	opUsesRs2 [numOps]bool
+)
+
+func init() {
+	for o := NOP; o < numOps; o++ {
+		opClass[o] = classOf(o)
+	}
+	for _, o := range []Op{BEQ, BNE, BLT, BGE, BLTU, BGEU} {
+		opIsCond[o] = true
+	}
+	for _, o := range []Op{ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA,
+		MUL, MULH, DIV, REM, SW, SH, SB, BEQ, BNE, BLT, BGE, BLTU, BGEU} {
+		opUsesRs2[o] = true
+	}
+}
+
+// classOf is the defining classification; opClass caches it per opcode.
+func classOf(o Op) Class {
 	switch o {
 	case MUL, MULH:
 		return ClassMul
@@ -106,17 +128,22 @@ func (o Op) Class() Class {
 	return ClassALU
 }
 
+// Class returns the execution class of the opcode.
+func (o Op) Class() Class {
+	if o < numOps {
+		return opClass[o]
+	}
+	return ClassALU
+}
+
 // IsBranch reports whether the opcode redirects control flow.
 func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
 
 // IsCond reports whether the opcode is a conditional branch.
-func (o Op) IsCond() bool {
-	switch o {
-	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
-		return true
-	}
-	return false
-}
+func (o Op) IsCond() bool { return o < numOps && opIsCond[o] }
+
+// UsesRs2 reports whether the opcode reads a second register operand.
+func (o Op) UsesRs2() bool { return o < numOps && opUsesRs2[o] }
 
 // Inst is one decoded instruction.
 type Inst struct {

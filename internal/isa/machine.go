@@ -26,6 +26,12 @@ type Machine struct {
 	Halted bool
 	// Instret counts retired instructions.
 	Instret uint64
+
+	// Predecode cache, one entry per memory word, filled lazily as words
+	// execute. Stores invalidate the written word's entry, so
+	// self-modifying code still decodes what memory actually holds.
+	dec   []Inst
+	decOK []bool
 }
 
 // NewMachine returns a machine with memSize bytes of zeroed memory.
@@ -42,6 +48,7 @@ func (m *Machine) Load(p *Program) error {
 	for i, w := range p.Words {
 		binary.LittleEndian.PutUint32(m.Mem[int(p.Origin)+4*i:], w)
 	}
+	m.dec, m.decOK = nil, nil
 	m.PC = p.Origin
 	return nil
 }
@@ -53,6 +60,14 @@ func (m *Machine) read32(addr uint32) uint32 {
 // WriteWord pokes a 32-bit word into memory (for workload data setup).
 func (m *Machine) WriteWord(addr, v uint32) {
 	binary.LittleEndian.PutUint32(m.Mem[addr:], v)
+	m.invalidate(addr)
+}
+
+// invalidate drops the predecode entry covering addr.
+func (m *Machine) invalidate(addr uint32) {
+	if m.decOK != nil {
+		m.decOK[addr>>2] = false
+	}
 }
 
 // ReadWord peeks a 32-bit word.
@@ -66,7 +81,19 @@ func (m *Machine) Step() (Trace, error) {
 	if int(m.PC)+4 > len(m.Mem) {
 		return Trace{}, fmt.Errorf("isa: PC %#x out of memory", m.PC)
 	}
-	in := Decode(m.read32(m.PC))
+	if m.dec == nil {
+		m.dec = make([]Inst, (len(m.Mem)+3)/4)
+		m.decOK = make([]bool, len(m.dec))
+	}
+	wi := m.PC >> 2
+	var in Inst
+	if m.decOK[wi] {
+		in = m.dec[wi]
+	} else {
+		in = Decode(m.read32(m.PC))
+		m.dec[wi] = in
+		m.decOK[wi] = true
+	}
 	tr := Trace{PC: m.PC, Inst: in}
 	next := m.PC + 4
 	rs1 := m.Regs[in.Rs1]
@@ -165,6 +192,7 @@ func (m *Machine) Step() (Trace, error) {
 		case SB:
 			m.Mem[addr] = byte(rs2)
 		}
+		m.invalidate(addr)
 	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
 		var taken bool
 		switch in.Op {

@@ -14,16 +14,40 @@ type LUT struct {
 	Slews []float64   // ascending, seconds
 	Loads []float64   // ascending, farads
 	Value [][]float64 // Value[i][j] for Slews[i] x Loads[j]
+
+	// flat is the frozen contiguous row-major copy of Value with stride
+	// len(Loads), built by Freeze; lookups hit it instead of chasing one
+	// pointer per row. Nil until frozen (At falls back to Value).
+	flat []float64
+}
+
+// Freeze precomputes the contiguous lookup representation. Idempotent;
+// call again after mutating Value to refresh it.
+func (l *LUT) Freeze() {
+	if len(l.Value) == 0 {
+		return
+	}
+	stride := len(l.Loads)
+	flat := make([]float64, 0, len(l.Value)*stride)
+	for _, row := range l.Value {
+		flat = append(flat, row...)
+	}
+	l.flat = flat
 }
 
 // locate returns the lower bracketing index and interpolation fraction
-// for x in axis, extrapolating beyond the ends.
+// for x in axis, extrapolating beyond the ends. Characterized axes are
+// a handful of entries, so a forward scan beats binary search; it stops
+// at the same "first element >= x" index sort.SearchFloat64s would.
 func locate(axis []float64, x float64) (int, float64) {
 	n := len(axis)
 	if n == 1 {
 		return 0, 0
 	}
-	i := sort.SearchFloat64s(axis, x)
+	i := 0
+	for i < n && axis[i] < x {
+		i++
+	}
 	switch {
 	case i <= 0:
 		i = 1
@@ -45,6 +69,12 @@ func (l *LUT) At(slew, load float64) float64 {
 	}
 	i, fs := locate(l.Slews, slew)
 	j, fl := locate(l.Loads, load)
+	return l.bilinear(i, j, fs, fl)
+}
+
+// bilinear interpolates between rows i,i+1 and columns j,j+1 (clamped)
+// at fractions fs, fl — the shared tail of At and Arc.worstPair.
+func (l *LUT) bilinear(i, j int, fs, fl float64) float64 {
 	ni, nj := i+1, j+1
 	if ni >= len(l.Slews) {
 		ni = i
@@ -52,10 +82,16 @@ func (l *LUT) At(slew, load float64) float64 {
 	if nj >= len(l.Loads) {
 		nj = j
 	}
-	v00 := l.Value[i][j]
-	v01 := l.Value[i][nj]
-	v10 := l.Value[ni][j]
-	v11 := l.Value[ni][nj]
+	var v00, v01, v10, v11 float64
+	if l.flat != nil {
+		s := len(l.Loads)
+		r0, r1 := l.flat[i*s:(i+1)*s], l.flat[ni*s:(ni+1)*s]
+		v00, v01 = r0[j], r0[nj]
+		v10, v11 = r1[j], r1[nj]
+	} else {
+		v00, v01 = l.Value[i][j], l.Value[i][nj]
+		v10, v11 = l.Value[ni][j], l.Value[ni][nj]
+	}
 	return v00*(1-fs)*(1-fl) + v01*(1-fs)*fl + v10*fs*(1-fl) + v11*fs*fl
 }
 
@@ -80,26 +116,76 @@ type Arc struct {
 	DelayFall *LUT
 	SlewRise  *LUT // resulting output slew
 	SlewFall  *LUT
+
+	// sharedAxes is set by Freeze when all four tables are characterized
+	// on the same (slew, load) grid — one axis location then serves a
+	// rise/fall pair instead of two.
+	sharedAxes bool
+}
+
+// Freeze precomputes each table's contiguous form and records whether
+// the four tables share one characterization grid.
+func (a *Arc) Freeze() {
+	tables := []*LUT{a.DelayRise, a.DelayFall, a.SlewRise, a.SlewFall}
+	for _, l := range tables {
+		if l != nil {
+			l.Freeze()
+		}
+	}
+	a.sharedAxes = true
+	for _, l := range tables {
+		if l == nil || len(l.Value) == 0 || !axesEqual(a.DelayRise, l) {
+			a.sharedAxes = false
+			return
+		}
+	}
+}
+
+// axesEqual reports whether two tables share element-wise equal axes.
+func axesEqual(a, b *LUT) bool {
+	if a == nil || b == nil || len(a.Slews) != len(b.Slews) || len(a.Loads) != len(b.Loads) {
+		return false
+	}
+	for i, v := range a.Slews {
+		if b.Slews[i] != v {
+			return false
+		}
+	}
+	for i, v := range a.Loads {
+		if b.Loads[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// worstPair evaluates max(rise.At, fall.At) with one shared axis
+// location when the arc is frozen on a common grid.
+func (a *Arc) worstPair(rise, fall *LUT, slew, load float64) float64 {
+	var r, f float64
+	if a.sharedAxes {
+		i, fs := locate(rise.Slews, slew)
+		j, fl := locate(rise.Loads, load)
+		r = rise.bilinear(i, j, fs, fl)
+		f = fall.bilinear(i, j, fs, fl)
+	} else {
+		r = rise.At(slew, load)
+		f = fall.At(slew, load)
+	}
+	if r > f {
+		return r
+	}
+	return f
 }
 
 // WorstDelay returns the larger of rise/fall delay at the operating point.
 func (a *Arc) WorstDelay(slew, load float64) float64 {
-	r := a.DelayRise.At(slew, load)
-	f := a.DelayFall.At(slew, load)
-	if r > f {
-		return r
-	}
-	return f
+	return a.worstPair(a.DelayRise, a.DelayFall, slew, load)
 }
 
 // WorstSlew returns the larger of rise/fall output slew.
 func (a *Arc) WorstSlew(slew, load float64) float64 {
-	r := a.SlewRise.At(slew, load)
-	f := a.SlewFall.At(slew, load)
-	if r > f {
-		return r
-	}
-	return f
+	return a.worstPair(a.SlewRise, a.SlewFall, slew, load)
 }
 
 // Cell is one characterized standard cell.
@@ -146,6 +232,18 @@ type Library struct {
 	VDD   float64
 	VSS   float64 // auxiliary negative rail (organic pseudo-E), 0 if unused
 	Cells map[string]*Cell
+}
+
+// Freeze precomputes the contiguous lookup representation of every
+// timing table in the library. Analysis works without it (table lookups
+// fall back to the row-pointer form); freezing once after construction
+// makes the millions of NLDM lookups a sweep performs cheaper.
+func (l *Library) Freeze() {
+	for _, c := range l.Cells {
+		for _, a := range c.Arcs {
+			a.Freeze()
+		}
+	}
 }
 
 // Cell returns the named cell or nil.

@@ -93,6 +93,19 @@ func MapPartialKeyed[T any](ctx context.Context, n int, key KeyFunc, fn func(ctx
 	return MapPartial(ctx, n, keyed(key, fn))
 }
 
+// MapKeyedChunked is MapKeyed with MapChunked's scheduling batch size:
+// contiguous chunks of tasks share a worker, each task still consulting
+// the checkpoint under its own key.
+func MapKeyedChunked[T any](ctx context.Context, n, chunk int, key KeyFunc, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapChunked(ctx, n, chunk, keyed(key, fn))
+}
+
+// MapPartialKeyedChunked is MapPartialKeyed with MapChunked's
+// scheduling batch size.
+func MapPartialKeyedChunked[T any](ctx context.Context, n, chunk int, key KeyFunc, fn func(ctx context.Context, i int) (T, error)) ([]T, []*TaskError, error) {
+	return MapPartialChunked(ctx, n, chunk, keyed(key, fn))
+}
+
 // keyed wraps a task function in the checkpoint consult/commit cycle.
 // The wrapper sits inside the pool's retry loop, so a retried task
 // re-checks the journal — harmless, and it means a commit that raced a

@@ -251,3 +251,92 @@ func TestPoolSizeIsPerContext(t *testing.T) {
 		t.Errorf("4-worker context reached concurrency %d, want 4", wideMax)
 	}
 }
+
+func TestMapChunkedMatchesMap(t *testing.T) {
+	// Chunked scheduling changes which worker runs which index, never
+	// the results: every index runs exactly once and lands at its slot.
+	for _, chunk := range []int{1, 3, 7, 16, 100, 1000} {
+		var ran atomic.Int64
+		out, err := MapChunked(context.Background(), 100, chunk, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("chunk=%d: %d tasks ran, want 100", chunk, ran.Load())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("chunk=%d: out[%d] = %d, want %d", chunk, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapChunkedFailFast(t *testing.T) {
+	// An error cancels the sweep; workers abandon the rest of their
+	// claimed chunk rather than draining it.
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	_, err := MapChunked(context.Background(), 1000, 50, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Errorf("all %d tasks ran despite early error", n)
+	}
+}
+
+func TestMapPartialChunkedCollectsErrors(t *testing.T) {
+	// Partial-results chunked sweeps annotate failures per index and
+	// still evaluate every other point.
+	sentinel := errors.New("bad point")
+	out, errs, err := MapPartialChunked(context.Background(), 97, 8, func(_ context.Context, i int) (int, error) {
+		if i%10 == 4 {
+			return 0, sentinel
+		}
+		return i + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 10 {
+		t.Fatalf("%d task errors, want 10", len(errs))
+	}
+	for _, te := range errs {
+		if te.Index%10 != 4 || !errors.Is(te.Err, sentinel) {
+			t.Errorf("unexpected task error %+v", te)
+		}
+	}
+	for i, v := range out {
+		if i%10 == 4 {
+			continue
+		}
+		if v != i+1 {
+			t.Errorf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestChunkSizing(t *testing.T) {
+	// Chunk targets ~4 chunks per worker and never returns less than 1.
+	ctx := context.Background()
+	w := WorkersFor(ctx)
+	if got, want := Chunk(ctx, 0), 1; got != want {
+		t.Errorf("Chunk(0) = %d, want %d", got, want)
+	}
+	if got, want := Chunk(ctx, 1), 1; got != want {
+		t.Errorf("Chunk(1) = %d, want %d", got, want)
+	}
+	if got, want := Chunk(ctx, 8*4*w), 8; got != want {
+		t.Errorf("Chunk(%d) = %d, want %d", 8*4*w, got, want)
+	}
+}

@@ -165,6 +165,12 @@ func (st *jobStore) get(id string) (*job, bool) {
 // most limit of them. next is the cursor of the following page — the
 // last returned ID, set only when more matching jobs remain.
 func (st *jobStore) page(after, state string, limit int) ([]api.JobStatus, string) {
+	if limit <= 0 {
+		// Total for any caller: the handler rejects non-positive limits,
+		// but an internal caller must get an empty page, not a panic on
+		// out[-1] below.
+		return nil, ""
+	}
 	st.mu.Lock()
 	ids := make([]string, 0, len(st.jobs))
 	for id := range st.jobs {

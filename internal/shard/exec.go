@@ -2,14 +2,12 @@ package shard
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/runner"
 )
 
 // Exec evaluates one lease in this process — the worker side of
@@ -46,38 +44,16 @@ func Exec(ctx context.Context, req *Request) (*Result, error) {
 		obs.KV("kind", g.Kind), obs.KV("tech", g.Tech), obs.Int("points", len(req.Indices)))
 	defer sp.End()
 
-	key := func(i int) string { return g.Key(req.Indices[i]) }
-	point := func(ctx context.Context, i int) (json.RawMessage, error) {
-		v, err := g.Eval(ctx, req.Indices[i])
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(v)
-	}
-	res := &Result{Version: Version, Kind: g.Kind, Worker: workerName(), Points: make([]PointResult, len(req.Indices))}
-	if !config.Get(ctx).PartialResults {
-		vals, err := runner.MapKeyed(ctx, len(req.Indices), key, point)
-		if err != nil {
-			return nil, err
-		}
-		for i, v := range vals {
-			res.Points[i] = PointResult{Index: req.Indices[i], Key: key(i), Value: v}
-		}
-		return res, nil
-	}
-	vals, errs, err := runner.MapPartialKeyed(ctx, len(req.Indices), key, point)
+	// The batched kernel entry point evaluates the lease with the same
+	// per-point checkpoint keys a local sweep uses, so a worker's own
+	// journal replays across execution styles.
+	vals, err := core.EvalPointsBatch(ctx, g, req.Indices)
 	if err != nil {
 		return nil, err
 	}
+	res := &Result{Version: Version, Kind: g.Kind, Worker: workerName(), Points: make([]PointResult, len(vals))}
 	for i, v := range vals {
-		res.Points[i] = PointResult{Index: req.Indices[i], Key: key(i), Value: v}
-	}
-	for _, te := range errs {
-		res.Points[te.Index] = PointResult{
-			Index: req.Indices[te.Index],
-			Key:   key(te.Index),
-			Err:   runner.ErrLabel(te.Err),
-		}
+		res.Points[i] = PointResult{Index: v.Index, Key: g.Key(v.Index), Value: v.Value, Err: v.Err}
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/liberty"
 	"repro/internal/logic"
@@ -78,6 +79,44 @@ type Result struct {
 	Levels      int // gate count along the critical path
 }
 
+// scratch is the per-gate working state of one Analyze call. Sweep
+// points analyze the same few netlists thousands of times, so the
+// slices are pooled per worker instead of reallocated per call.
+type scratch struct {
+	pinLoad, wireCap, wireFlt []float64
+	arrival, slew, gateDelay  []float64
+	pred                      []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// pinNames are the input pin names in arc order, shared across gates.
+var pinNames = [...]string{"A", "B", "C"}
+
+// resize readies every slice for n gates, zeroed.
+func (s *scratch) resize(n int) {
+	grow := func(f []float64) []float64 {
+		if cap(f) < n {
+			return make([]float64, n)
+		}
+		f = f[:n]
+		for i := range f {
+			f[i] = 0
+		}
+		return f
+	}
+	s.pinLoad = grow(s.pinLoad)
+	s.wireCap = grow(s.wireCap)
+	s.wireFlt = grow(s.wireFlt)
+	s.arrival = grow(s.arrival)
+	s.slew = grow(s.slew)
+	s.gateDelay = grow(s.gateDelay)
+	if cap(s.pred) < n {
+		s.pred = make([]int32, n)
+	}
+	s.pred = s.pred[:n]
+}
+
 // Analyze runs static timing on the design.
 func Analyze(d *synth.Design, w Wire, opt Options) (*Result, error) {
 	nl := d.Netlist
@@ -112,9 +151,12 @@ func Analyze(d *synth.Design, w Wire, opt Options) (*Result, error) {
 
 	fanouts := nl.Fanouts()
 	// Per-gate output net: pin load + wire load.
-	pinLoad := make([]float64, len(nl.Gates))
-	wireCap := make([]float64, len(nl.Gates))
-	wireFlt := make([]float64, len(nl.Gates))
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.resize(len(nl.Gates))
+	pinLoad := sc.pinLoad
+	wireCap := sc.wireCap
+	wireFlt := sc.wireFlt
 	for i := range nl.Gates {
 		var load float64
 		for _, fo := range fanouts[i] {
@@ -145,20 +187,25 @@ func Analyze(d *synth.Design, w Wire, opt Options) (*Result, error) {
 		}
 	}
 
-	arrival := make([]float64, len(nl.Gates))
-	slew := make([]float64, len(nl.Gates))
-	pred := make([]int32, len(nl.Gates))
-	gateDelay := make([]float64, len(nl.Gates))
+	arrival := sc.arrival
+	slew := sc.slew
+	pred := sc.pred
+	gateDelay := sc.gateDelay
 	for i := range pred {
 		pred[i] = -1
 	}
+	// Per-level buffer delay is constant across the run; evaluate the
+	// INV arc once on first use instead of per buffered gate.
+	bufD0 := math.NaN()
 	bufDelayAt := func(levels int) float64 {
 		if levels == 0 {
 			return 0
 		}
-		arc := inv.Arcs["A"]
-		d0 := arc.WorstDelay(inSlew, float64(synth.MaxFanout)*inv.InputCap)
-		return float64(levels) * d0
+		if math.IsNaN(bufD0) {
+			arc := inv.Arcs["A"]
+			bufD0 = arc.WorstDelay(inSlew, float64(synth.MaxFanout)*inv.InputCap)
+		}
+		return float64(levels) * bufD0
 	}
 	for i, g := range nl.Gates {
 		switch g.Kind {
@@ -184,17 +231,18 @@ func Analyze(d *synth.Design, w Wire, opt Options) (*Result, error) {
 				from = int32(src)
 			}
 		}
-		pins := []string{"A", "B", "C"}
-		arc := cell.Arcs[pins[0]]
-		// Worst arc across pins (pessimistic single-value STA).
-		for _, p := range pins[:g.Kind.Arity()] {
+		// Worst arc across pins (pessimistic single-value STA), each arc
+		// evaluated exactly once.
+		var arc *liberty.Arc
+		var worst float64
+		for _, p := range pinNames[:g.Kind.Arity()] {
 			if a2 := cell.Arcs[p]; a2 != nil {
-				if a2.WorstDelay(inSlw, load) > arc.WorstDelay(inSlw, load) {
-					arc = a2
+				if d2 := a2.WorstDelay(inSlw, load); arc == nil || d2 > worst {
+					arc, worst = a2, d2
 				}
 			}
 		}
-		dly := arc.WorstDelay(inSlw, load) + bufDelayAt(d.BufLevels[i])
+		dly := worst + bufDelayAt(d.BufLevels[i])
 		arrival[i] = inArr + dly
 		gateDelay[i] = dly
 		slew[i] = math.Min(arc.WorstSlew(inSlw, load), maxSlew)

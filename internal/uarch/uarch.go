@@ -82,43 +82,47 @@ type TraceSource interface {
 	Next() (isa.Trace, bool)
 }
 
-// ring holds the last N timestamps for window-occupancy constraints.
+// ring holds per-index timestamps for window-occupancy constraints.
+// Capacity rounds the window up to a power of two so the hot-path index
+// is a mask instead of a division; a slot stays live for at least
+// capacity pushes, which covers every lookback of window size or less.
 type ring struct {
-	buf []uint64
-	n   int
+	buf  []uint64
+	mask uint64
 }
 
-func newRing(n int) *ring { return &ring{buf: make([]uint64, n), n: n} }
-
-// push records a timestamp and returns the one it displaced (the
-// timestamp of the entry N positions earlier, 0 if none yet).
-func (r *ring) push(i uint64, v uint64) uint64 {
-	idx := i % uint64(r.n)
-	old := r.buf[idx]
-	r.buf[idx] = v
-	return old
+func newRing(n int) *ring {
+	cap := 1
+	for cap < n {
+		cap <<= 1
+	}
+	return &ring{buf: make([]uint64, cap), mask: uint64(cap - 1)}
 }
+
+// push records index i's timestamp.
+func (r *ring) push(i uint64, v uint64) { r.buf[i&r.mask] = v }
 
 // at returns the timestamp recorded for index i (i must be within the
-// last N pushes).
-func (r *ring) at(i uint64) uint64 { return r.buf[i%uint64(r.n)] }
+// last capacity pushes; an index never pushed reads 0).
+func (r *ring) at(i uint64) uint64 { return r.buf[i&r.mask] }
 
 // portSched tracks per-cycle usage of an execution port class.
 type portSched struct {
 	width int
 	used  []uint16
 	tag   []uint64
+	mask  uint64
 }
 
 func newPortSched(width int) *portSched {
 	const window = 1 << 14
-	return &portSched{width: width, used: make([]uint16, window), tag: make([]uint64, window)}
+	return &portSched{width: width, used: make([]uint16, window), tag: make([]uint64, window), mask: window - 1}
 }
 
 // alloc finds the earliest cycle >= c with a free port and claims it.
 func (p *portSched) alloc(c uint64) uint64 {
 	for {
-		idx := c % uint64(len(p.used))
+		idx := c & p.mask
 		if p.tag[idx] != c {
 			p.tag[idx] = c
 			p.used[idx] = 0
@@ -259,9 +263,9 @@ func Run(src TraceSource, cfg Config) Stats {
 	memPorts := newPortSched(1)
 	brPorts := newPortSched(1)
 
-	retireHist := newRing(cfg.ROB) // retire time of instr i-ROB
-	issueHist := newRing(cfg.IQ)   // issue time of instr i-IQ
-	memHist := newRing(cfg.LSQ)    // retire time of mem op i-LSQ
+	retireHist := newRing(cfg.ROB) // retire time per instr, ROB lookback
+	issueHist := newRing(cfg.IQ)   // issue time per instr, IQ lookback
+	memHist := newRing(cfg.LSQ)    // retire time per mem op, LSQ lookback
 
 	// Register scoreboard: cycle each architectural register's value is
 	// available for bypass.
@@ -289,6 +293,7 @@ func Run(src TraceSource, cfg Config) Stats {
 			break
 		}
 		in := tr.Inst
+		cls := in.Op.Class()
 		// --- Fetch ---
 		fetch := cycle
 		if takenBubble > 0 {
@@ -304,7 +309,7 @@ func Run(src TraceSource, cfg Config) Stats {
 		}
 		// ROB occupancy: instr i needs instr i-ROB retired.
 		if i >= uint64(cfg.ROB) {
-			if r := retireHist.at(i); r+1 > fetch {
+			if r := retireHist.at(i - uint64(cfg.ROB)); r+1 > fetch {
 				fetch = r + 1
 				cycle = fetch
 				slots = cfg.FrontWidth
@@ -341,7 +346,7 @@ func Run(src TraceSource, cfg Config) Stats {
 		slots--
 		// Taken control flow ends the fetch group and costs a fetch
 		// redirect bubble even when predicted (BTB-steered refetch).
-		if in.Op.IsBranch() && tr.Taken {
+		if cls == isa.ClassBranch && tr.Taken {
 			slots = 0
 			takenBubble = 1
 		}
@@ -349,13 +354,13 @@ func Run(src TraceSource, cfg Config) Stats {
 		// --- Dispatch ---
 		disp := fetch + uint64(cfg.FrontStages)
 		if i >= uint64(cfg.IQ) {
-			if is := issueHist.at(i); is+1 > disp {
+			if is := issueHist.at(i - uint64(cfg.IQ)); is+1 > disp {
 				disp = is + 1
 			}
 		}
-		isMem := in.Op.Class() == isa.ClassLoad || in.Op.Class() == isa.ClassStore
+		isMem := cls == isa.ClassLoad || cls == isa.ClassStore
 		if isMem && memIdx >= uint64(cfg.LSQ) {
-			if r := memHist.at(memIdx); r+1 > disp {
+			if r := memHist.at(memIdx - uint64(cfg.LSQ)); r+1 > disp {
 				disp = r + 1
 			}
 		}
@@ -365,15 +370,7 @@ func Run(src TraceSource, cfg Config) Stats {
 		if s := regReady[in.Rs1]; in.Rs1 != 0 && s > ready {
 			ready = s
 		}
-		usesRs2 := false
-		switch in.Op {
-		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT, isa.SLTU,
-			isa.SLL, isa.SRL, isa.SRA, isa.MUL, isa.MULH, isa.DIV, isa.REM,
-			isa.SW, isa.SH, isa.SB, isa.BEQ, isa.BNE, isa.BLT, isa.BGE,
-			isa.BLTU, isa.BGEU:
-			usesRs2 = true
-		}
-		if usesRs2 && in.Rs2 != 0 {
+		if in.Op.UsesRs2() && in.Rs2 != 0 {
 			if s := regReady[in.Rs2]; s > ready {
 				ready = s
 			}
@@ -382,7 +379,7 @@ func Run(src TraceSource, cfg Config) Stats {
 		// --- Issue (port arbitration) ---
 		var issue uint64
 		lat := uint64(1 + cfg.ExecStages)
-		switch in.Op.Class() {
+		switch cls {
 		case isa.ClassMul:
 			issue = aluPorts.alloc(ready)
 			lat = uint64(cfg.MulLat + cfg.ExecStages)
@@ -431,7 +428,7 @@ func Run(src TraceSource, cfg Config) Stats {
 		}
 
 		// --- Branch resolution ---
-		if in.Op.IsBranch() {
+		if cls == isa.ClassBranch {
 			if in.Op.IsCond() {
 				st.CondBr++
 			}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse asserts the envelope parser's safety contract: Parse never
+// panics on arbitrary response bodies (proxies hand clients HTML, old
+// servers hand them plain text, the network hands them torn JSON), a
+// rejected body yields a nil envelope, and an accepted envelope
+// round-trips through encoding unchanged — what a client retries on is
+// exactly what the server said (go test -fuzz=FuzzParse ./internal/wire).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`"bad_request"`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"code":""}`))
+	f.Add([]byte(`{"code":"bad_request","message":"invalid bounds"}`))
+	f.Add([]byte(`{"code":"overloaded","message":"shed","retry_after_s":1.5}`))
+	f.Add([]byte(`{"code":"config_mismatch","message":"digest","detail":"want deadbeef"}`))
+	f.Add([]byte(`{"CODE":"bad_request","MESSAGE":"case-folded keys"}`))
+	f.Add([]byte(`{"code":"internal","code":"timeout"}`)) // duplicate key: last wins
+	f.Add([]byte(`{"code":"overloaded","retry_after_s":1e308}`))
+	f.Add([]byte(`{"code":"internal","unknown_field":{"nested":[1,2,3]}}`))
+	f.Add([]byte(`{"code":"internal","message":"truncat`)) // torn body
+	f.Add([]byte(`<html><body><h1>502 Bad Gateway</h1></body></html>`))
+	f.Add([]byte("{\"code\":\"internal\",\"message\":\"\x00binary\xff\"}"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		e, ok := Parse(body) // must never panic
+		if !ok {
+			if e != nil {
+				t.Fatal("rejected body returned a non-nil envelope")
+			}
+			return
+		}
+		// Invariants of an accepted envelope.
+		if e.Code == "" {
+			t.Fatal("accepted an envelope with an empty code")
+		}
+		if e.Error() == "" {
+			t.Fatal("accepted envelope renders an empty error string")
+		}
+		// Round trip: what a server would write for this envelope parses
+		// back to the identical envelope.
+		enc, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", err)
+		}
+		e2, ok2 := Parse(enc)
+		if !ok2 {
+			t.Fatalf("re-encoded envelope %s does not re-parse", enc)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("round trip changed the envelope:\nfirst  %+v\nsecond %+v", e, e2)
+		}
+	})
+}
+
+// FuzzCodeFor pins the status-to-code mapping's totality: every status
+// maps to a known stable code, and the explicitly mapped statuses stay
+// distinct.
+func FuzzCodeFor(f *testing.F) {
+	for _, s := range []int{0, -1, 200, 400, 404, 405, 409, 413, 429, 500, 503, 504, 999} {
+		f.Add(s)
+	}
+	known := map[string]bool{
+		CodeBadRequest: true, CodeNotFound: true, CodeMethodNotAllowed: true,
+		CodeConfigMismatch: true, CodePayloadTooLarge: true, CodeOverloaded: true,
+		CodeInternal: true, CodeUnavailable: true, CodeTimeout: true,
+	}
+	f.Fuzz(func(t *testing.T, status int) {
+		code := CodeFor(status)
+		if !known[code] {
+			t.Fatalf("CodeFor(%d) = %q, not a stable code", status, code)
+		}
+		// The explicit mappings must not drift onto the default.
+		if status != 0 && status == http.StatusBadRequest && code != CodeBadRequest {
+			t.Fatalf("CodeFor(400) = %q", code)
+		}
+	})
+}
